@@ -1,0 +1,191 @@
+"""Ablations: which of the paper's design choices are load-bearing.
+
+Four experiments, one per design choice DESIGN.md calls out:
+
+1. **Epoch budget** (Lemma 10): the fallback probability decays
+   geometrically with the number of biased-majority epochs — the paper's
+   Theta(t/sqrt(n) log n) budget buys the whp guarantee.
+2. **Threshold gap** (Figure 3): the 18/30-vs-15/30 adopt gap and the
+   27/30 / 3/30 decide margins exceed the worst-case inoperative
+   perturbation.  Narrowing them creates *deterministic* conflicting
+   decisions between two views that differ only by tolerated knockouts.
+3. **Spreading rounds** (Algorithm 3): with too few gossip rounds on a
+   sparse overlay, operative counts are incomplete and the run leans on the
+   expensive fallback.
+4. **Overlay degree** (Theorem 4): a thinner spreading graph turns
+   adversarial omissions into non-faulty inoperative processes.
+"""
+
+from conftest import print_series
+
+from repro.adversary import RandomOmissionAdversary
+from repro.analysis import fallback_rate_vs_epochs
+from repro.core import apply_vote_rule, run_consensus
+from repro.params import ProtocolParams
+from repro.runtime import CountingRandom
+
+PRACTICAL = ProtocolParams.practical()
+
+
+def test_ablation_epoch_budget(benchmark):
+    rates = benchmark.pedantic(
+        lambda: fallback_rate_vs_epochs(
+            48, epoch_counts=[1, 2, 4, 8], trials=12, seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[epochs, str(estimate)] for epochs, estimate in rates]
+    print_series(
+        "fallback probability vs epoch budget (n=48, balanced inputs)",
+        ["epochs", "fallback rate [95% CI]"],
+        rows,
+    )
+    # Geometric decay: the 8-epoch rate must not exceed the 1-epoch rate,
+    # and the 1-epoch rate must be substantial (one coin round rarely
+    # suffices to also trigger the decide rule).
+    first, last = rates[0][1], rates[-1][1]
+    assert last.rate <= first.rate
+    assert first.rate >= 0.5
+
+
+def test_ablation_threshold_gap(benchmark):
+    """Narrowing the 18/30-vs-15/30 adopt gap admits *deterministic* splits
+    (one view adopts 1, a knockout-perturbed view adopts 0) — exactly what
+    the Figure-3 geometry rules out for the paper's constants.  Such splits
+    destroy Lemma 10's unification argument."""
+
+    narrow = PRACTICAL.with_overrides(
+        one_threshold_num=16,
+        zero_threshold_num=15,
+        decide_hi_num=27,
+        decide_lo_num=3,
+    )
+
+    def deterministic_splits(params):
+        splits = 0
+        total = 300
+        # Up to 4t processes can go inoperative during an epoch (Lemma 7),
+        # i.e. ~2/15 of the counted values may vanish from one view.
+        perturbation = (4 * total) // 30
+        for ones in range(total + 1):
+            view_a = apply_vote_rule(
+                ones, total - ones, params, CountingRandom(1)
+            )
+            shift = min(perturbation, ones)
+            view_b = apply_vote_rule(
+                ones - shift, total - ones, params, CountingRandom(2)
+            )
+            if (
+                not view_a.used_coin
+                and not view_b.used_coin
+                and view_a.bit != view_b.bit
+            ):
+                splits += 1
+        return splits
+
+    narrow_splits, paper_splits = benchmark.pedantic(
+        lambda: (deterministic_splits(narrow), deterministic_splits(PRACTICAL)),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\ndeterministic adopt-splits under 4t-knockout perturbation: "
+        f"paper thresholds {paper_splits}, narrowed thresholds "
+        f"{narrow_splits}"
+    )
+    assert paper_splits == 0
+    assert narrow_splits > 0
+
+
+def test_ablation_spreading_rounds(benchmark):
+    """The 2-log-n gossip budget is what makes every operative process see
+    every surviving group's counts (Lemma 6).  With one round on a sparse
+    overlay, coverage collapses to the direct neighbourhood."""
+
+    from repro.core.spreading import SpreadingState, group_bits_spreading
+    from repro.graphs import spreading_graph
+    from repro.runtime import SyncNetwork, SyncProcess
+
+    class Harness(SyncProcess):
+        def __init__(self, pid, n, graph, rounds):
+            super().__init__(pid, n)
+            self.graph = graph
+            self.rounds = rounds
+
+        def program(self, env):
+            state = SpreadingState(
+                neighbors=tuple(sorted(self.graph.neighbors(self.pid)))
+            )
+            result = yield from group_bits_spreading(
+                env, state, group_count=self.n, my_group=self.pid,
+                my_counts=(1, 0), rounds=self.rounds, degree_threshold=1,
+            )
+            env.decide(sum(1 for pack in result.packs if pack is not None))
+            return None
+
+    def coverage(rounds):
+        n = 100
+        graph = spreading_graph(n, 8, seed=4)
+        network = SyncNetwork(
+            [Harness(pid, n, graph, rounds) for pid in range(n)], seed=4
+        )
+        result = network.run()
+        learned = list(result.decisions.values())
+        return sum(learned) / (n * n)  # fraction of slots known system-wide
+
+    def workload():
+        return [(rounds, coverage(rounds)) for rounds in (1, 2, 4, 14)]
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "slot coverage vs spreading rounds (n=100, Delta=8 overlay)",
+        ["rounds", "coverage"],
+        [[rounds, f"{fraction:.3f}"] for rounds, fraction in rows],
+    )
+    fractions = dict(rows)
+    assert fractions[1] < 0.25          # one round: neighbourhood only
+    assert fractions[14] > 0.999        # 2 log n rounds: everything
+    assert fractions[2] < fractions[4] <= fractions[14]
+
+
+def test_ablation_overlay_degree(benchmark):
+    """Thinner overlays turn the same omission noise into more non-faulty
+    inoperative processes (the Theorem-4 degree is what buys Lemma 7)."""
+
+    def inoperative_counts():
+        rows = []
+        for delta_factor, delta_min in ((1, 4), (2, 6), (4, 6)):
+            params = PRACTICAL.with_overrides(
+                delta_factor=delta_factor, delta_min=delta_min
+            )
+            non_faulty_inoperative = 0
+            trials = 3
+            for seed in range(trials):
+                run = run_consensus(
+                    [pid % 2 for pid in range(100)],
+                    t=3,
+                    params=params,
+                    adversary=RandomOmissionAdversary(0.9, seed=seed),
+                    seed=700 + seed,
+                )
+                assert run.decision in (0, 1)
+                non_faulty_inoperative += sum(
+                    1
+                    for process in run.processes
+                    if not process.operative
+                    and process.pid not in run.result.faulty
+                )
+            delta = params.delta(100)
+            rows.append([delta_factor, delta, non_faulty_inoperative, trials])
+        return rows
+
+    rows = benchmark.pedantic(inoperative_counts, rounds=1, iterations=1)
+    print_series(
+        "non-faulty inoperative processes vs overlay degree "
+        "(n=100, t=3, heavy omission noise)",
+        ["delta factor", "Delta", "nf-inoperative (sum)", "trials"],
+        rows,
+    )
+    thinnest, thickest = rows[0], rows[-1]
+    assert thinnest[2] >= thickest[2]

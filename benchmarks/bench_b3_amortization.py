@@ -1,0 +1,81 @@
+"""E-B3 — Appendix B.3: why crash-model amortization dies under omissions.
+
+B.3's argument against porting [23]'s doubling strategies: a crashed
+process stops and costs nothing more, but an omission-faulty process can be
+kept "alive" — its requests delivered, its responses omitted — forcing the
+full Theta(n) doubling escalation and charging every healthy process for
+the answers.  "Even a single omission-faulty process may contribute
+linearly to the communication complexity."
+
+Measured via :mod:`repro.baselines.doubling_gossip`: n concurrent doubling
+collectors; the adversary either crashes the victims or starves their
+responses.
+"""
+
+from conftest import print_series
+
+from repro.baselines import measure_amortization
+
+
+def test_single_faulty_process_costs_linear(benchmark):
+    """The headline sentence, literally: t = 1, and the healthy processes
+    send ~n responses to the one starved collector (vs 0 under a crash)."""
+    points = benchmark.pedantic(
+        lambda: measure_amortization(128, 1, seed=3), rounds=1, iterations=1
+    )
+    rows = [
+        [label, p.victim_requests, p.responses_to_victims]
+        for label, p in points.items()
+    ]
+    print_series(
+        "one faulty collector at n=128",
+        ["adversary", "victim requests", "healthy responses to victim"],
+        rows,
+    )
+    crash, omission = points["crash"], points["omission"]
+    assert crash.responses_to_victims == 0
+    assert omission.responses_to_victims == 127  # exactly n - 1
+    assert omission.victim_requests == 127       # full doubling sweep
+
+
+def test_omission_cost_scales_with_t_times_n(benchmark):
+    def workload():
+        rows = []
+        for n, t in ((64, 2), (128, 4), (192, 6)):
+            points = measure_amortization(n, t, seed=4)
+            rows.append(
+                [
+                    n,
+                    t,
+                    points["crash"].responses_to_victims,
+                    points["omission"].responses_to_victims,
+                    t * (n - t),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "forced responses to faulty collectors (healthy senders only)",
+        ["n", "t", "crash", "omission", "t(n-t)"],
+        rows,
+    )
+    for row in rows:
+        n, t, crash_cost, omission_cost, bound = row
+        assert crash_cost == 0
+        assert omission_cost == bound
+
+
+def test_escalation_vs_quorum_stop(benchmark):
+    """Fault-free collectors stop at their quorum wave; starved collectors
+    sweep the whole system — the Theta(n) blow-up B.3 describes."""
+    points = benchmark.pedantic(
+        lambda: measure_amortization(256, 4, seed=5), rounds=1, iterations=1
+    )
+    none, omission = points["none"], points["omission"]
+    print(
+        f"\nrequests per collector at n=256: fault-free stops at "
+        f"{none.victim_requests}, starved sweeps {omission.victim_requests}"
+    )
+    assert omission.victim_requests == 255
+    assert none.victim_requests <= 150

@@ -1,0 +1,91 @@
+"""E-ES — Section-6 extension: the early-stopping variant's adaptivity.
+
+The paper's future-work section asks for protocols whose cost adapts to the
+actual hardness of the instance; the omission literature it cites ([33],
+[34]) calls this early stopping.  This bench measures the READY-poll
+variant (:mod:`repro.core.early_stopping`) against the fixed-budget
+Algorithm 1 across instance hardness: the easier the instance, the earlier
+the exit, with identical decisions throughout.
+"""
+
+from conftest import print_series
+
+from repro.adversary import SilenceAdversary, VoteBalancingAdversary
+from repro.core import run_consensus, run_early_stopping_consensus
+from repro.params import ProtocolParams
+
+N = 96
+PARAMS = ProtocolParams.practical()
+
+
+def test_rounds_adapt_to_instance_hardness(benchmark):
+    def workload():
+        rows = []
+        cases = [
+            ("unanimous", [1] * N, None),
+            ("90-10 skew", [1 if pid < 86 else 0 for pid in range(N)], None),
+            ("balanced", [pid % 2 for pid in range(N)], None),
+            (
+                "balanced+balancer",
+                [pid % 2 for pid in range(N)],
+                VoteBalancingAdversary(seed=2),
+            ),
+        ]
+        for label, inputs, adversary in cases:
+            fixed = run_consensus(inputs, params=PARAMS, seed=17)
+            adaptive = run_early_stopping_consensus(
+                inputs, adversary=adversary, params=PARAMS, seed=17
+            )
+            exits = sorted(
+                {process.exited_epoch for process in adaptive.processes}
+            )
+            rows.append(
+                [
+                    label,
+                    fixed.result.time_to_agreement(),
+                    adaptive.result.time_to_agreement(),
+                    exits,
+                    adaptive.decision == fixed.decision
+                    or adaptive.decision in (0, 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        f"early stopping vs fixed budget (n={N})",
+        ["instance", "fixed T", "adaptive T", "exit epochs", "consistent"],
+        rows,
+    )
+    unanimous, skew, balanced = rows[0], rows[1], rows[2]
+    # Easy instances exit far earlier than the fixed budget...
+    assert unanimous[2] < unanimous[1] / 3
+    assert skew[2] < skew[1]
+    # ...and hardness ordering shows in the exit epochs.
+    assert min(unanimous[3]) <= min(balanced[3])
+    assert all(row[4] for row in rows)
+
+
+def test_early_stopping_safe_under_ready_suppression(benchmark):
+    """Agreement holds across seeds even when the adversary suppresses
+    faulty READY votes to desynchronize the exits."""
+
+    def workload():
+        outcomes = []
+        t = PARAMS.max_faults(N)
+        for seed in range(6):
+            run = run_early_stopping_consensus(
+                [1] * N,
+                t=t,
+                adversary=SilenceAdversary(range(t)),
+                params=PARAMS,
+                seed=300 + seed,
+            )
+            outcomes.append(
+                (run.decision, len({p.exited_epoch for p in run.processes}))
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print(f"\n(decision, distinct exit epochs) per seed: {outcomes}")
+    assert all(decision == 1 for decision, _ in outcomes)

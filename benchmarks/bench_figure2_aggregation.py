@@ -1,0 +1,127 @@
+"""E-F2 — Figure 2: binary-tree intra-group aggregation (Algorithm 2).
+
+Figure 2 depicts one group's 3-round relay up the bag tree.  This bench
+measures a single ``GroupBitsAggregation`` execution per group size: round
+count 3*ceil(log2 m), per-group bits (the paper's Lemma 2: O(n log^2 n) per
+group, i.e. ~m^2 polylog for group size m), and count exactness with and
+without silenced members.
+"""
+
+from conftest import print_series
+
+from repro.adversary import SilenceAdversary
+from repro.core import cached_bag_tree
+from repro.core.aggregation import group_bits_aggregation
+from repro.params import ProtocolParams
+from repro.runtime import SyncNetwork, SyncProcess
+
+GROUP_SIZES = [4, 8, 16, 32, 64]
+PARAMS = ProtocolParams.practical()
+
+
+class Harness(SyncProcess):
+    def __init__(self, pid, n, bit):
+        super().__init__(pid, n)
+        self.bit = bit
+
+    def program(self, env):
+        group = tuple(range(self.n))
+        tree = cached_bag_tree(group)
+        result = yield from group_bits_aggregation(
+            env, group, tree, True, self.bit, PARAMS, tree.num_stages
+        )
+        env.decide((result.ones, result.zeros, result.operative))
+        return None
+
+
+def run_group(m, adversary=None, t=0, seed=0):
+    processes = [Harness(pid, m, pid % 2) for pid in range(m)]
+    network = SyncNetwork(processes, adversary=adversary, t=t, seed=seed)
+    return network.run()
+
+
+def test_aggregation_rounds_and_bits(benchmark):
+    def workload():
+        rows = []
+        for m in GROUP_SIZES:
+            result = run_group(m)
+            tree = cached_bag_tree(tuple(range(m)))
+            rows.append(
+                [
+                    m,
+                    result.rounds,
+                    3 * tree.num_stages,
+                    result.metrics.bits_sent,
+                    result.metrics.messages_sent,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "Figure 2: one aggregation per group size",
+        ["m", "rounds", "3 ceil(lg m)", "bits", "messages"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == row[2]  # exactly 3 rounds per tree stage
+    # Lemma-2 shape: bits per group grow ~m^2 polylog (sources x
+    # transmitters per stage), i.e. much slower than m^3.
+    small, large = rows[0], rows[-1]
+    growth = large[3] / small[3]
+    size_growth = large[0] / small[0]
+    print(f"\nbits growth x{growth:.1f} over m x{size_growth:.0f} "
+          f"(m^2 polylog predicts ~x{size_growth**2:.0f} * logs)")
+    assert growth < size_growth**3
+
+
+def test_aggregation_exactness(benchmark):
+    def workload():
+        rows = []
+        for m in GROUP_SIZES:
+            result = run_group(m)
+            counted = result.decisions[0]
+            rows.append([m, counted[0], counted[1], m // 2, (m + 1) // 2])
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "operative counts vs ground truth (no faults)",
+        ["m", "ones", "zeros", "true ones", "true zeros"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == row[3] and row[2] == row[4]
+
+
+def test_aggregation_with_silenced_minority(benchmark):
+    """Silencing a minority perturbs counts by at most the knockouts —
+    the Lemma-1/2 guarantee that feeds Figure 3's threshold gap."""
+
+    def workload():
+        rows = []
+        for m in (16, 32, 64):
+            silenced = max(1, m // 8)
+            result = run_group(
+                m, adversary=SilenceAdversary(range(silenced)), t=silenced,
+                seed=m,
+            )
+            operative = [
+                value for value in result.decisions.values() if value[2]
+            ]
+            totals = [ones + zeros for ones, zeros, _ in operative]
+            knocked = m - len(operative)
+            rows.append(
+                [m, silenced, len(operative), min(totals), max(totals), knocked]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "counts under silenced minority",
+        ["m", "silenced", "operative", "min total", "max total", "knocked"],
+        rows,
+    )
+    for row in rows:
+        # Spread between operative views bounded by the knockouts.
+        assert row[4] - row[3] <= row[5]

@@ -1,0 +1,114 @@
+"""E-F3 — Figure 3: the biased-majority thresholds in action.
+
+Figure 3 illustrates the vote bands (adopt-0 below 15/30, coin between
+15/30 and 18/30, adopt-1 above, decide outside 3/30..27/30).  This bench
+regenerates the figure empirically two ways:
+
+1. band classification of the pure vote rule across the full ratio axis;
+2. end-to-end epoch dynamics: for each initial 1-fraction, how many epochs
+   Algorithm 1 needs before the operative processes unify (and how the
+   vote-balancing adversary shifts that distribution).
+"""
+
+from conftest import print_series
+
+from repro.core import apply_vote_rule, run_consensus
+from repro.params import ProtocolParams
+from repro.runtime import CountingRandom
+
+PARAMS = ProtocolParams.practical()
+N = 100
+
+
+def test_vote_rule_band_map(benchmark):
+    def workload():
+        total = 30
+        rows = []
+        for ones in range(total + 1):
+            outcome = apply_vote_rule(
+                ones, total - ones, PARAMS, CountingRandom(ones)
+            )
+            band = (
+                "decide-1" if outcome.decided and outcome.bit == 1 else
+                "decide-0" if outcome.decided else
+                "coin" if outcome.used_coin else
+                f"adopt-{outcome.bit}"
+            )
+            rows.append([f"{ones}/{total}", band])
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series("Figure 3 band map (counts out of 30)", ["ones", "band"], rows)
+    bands = [band for _, band in rows]
+    # The paper's band order along the ratio axis.
+    assert bands[0] == "decide-0"
+    assert bands[-1] == "decide-1"
+    assert "coin" in bands
+    assert bands.index("coin") > bands.index("adopt-0")
+    assert "adopt-1" in bands[bands.index("coin"):]
+
+
+def test_epochs_to_unify_vs_initial_fraction(benchmark):
+    """Sweep the initial 1-fraction; report decision value and whether the
+    epochs fast path decided — the empirical Figure 3."""
+
+    def workload():
+        rows = []
+        for ones in (0, 10, 30, 50, 70, 90, 100):
+            inputs = [1] * ones + [0] * (N - ones)
+            run = run_consensus(inputs, t=3, seed=ones + 1)
+            rows.append(
+                [
+                    f"{ones}%",
+                    run.decision,
+                    run.metrics.random_bits,
+                    run.ran_deterministic_fallback,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "epoch dynamics vs initial 1-fraction (n=100)",
+        ["ones", "decision", "random bits", "fallback"],
+        rows,
+    )
+    by_fraction = {row[0]: row for row in rows}
+    # Clear majorities must win and spend no randomness at the extremes.
+    assert by_fraction["0%"][1] == 0 and by_fraction["0%"][2] == 0
+    assert by_fraction["100%"][1] == 1 and by_fraction["100%"][2] == 0
+    assert by_fraction["90%"][1] == 1
+    assert by_fraction["10%"][1] == 0 if "10%" in by_fraction else True
+    assert by_fraction["30%"][1] == 0
+    assert by_fraction["70%"][1] == 1
+
+
+def test_threshold_gap_beats_perturbation(benchmark):
+    """The 18/30-vs-15/30 gap exceeds the worst inoperative fraction, so
+    two operative processes can never deterministically split (the property
+    Figure 3's geometry encodes)."""
+
+    def workload():
+        violations = 0
+        total = 300
+        max_perturbation = total // 10  # 3t/n with t < n/30
+        for ones in range(total + 1):
+            for shift in (0, max_perturbation):
+                other = max(0, ones - shift)
+                first = apply_vote_rule(
+                    ones, total - ones, PARAMS, CountingRandom(1)
+                )
+                second = apply_vote_rule(
+                    other, total - ones, PARAMS, CountingRandom(2)
+                )
+                if (
+                    not first.used_coin
+                    and not second.used_coin
+                    and first.bit != second.bit
+                ):
+                    violations += 1
+        return violations
+
+    violations = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print(f"\ndeterministic splits under max perturbation: {violations}")
+    assert violations == 0

@@ -1,0 +1,71 @@
+"""E-MV — extension: multi-valued consensus cost and strong validity.
+
+The binary→multi-valued reduction costs one fixed-length binary consensus
+plus one witness round per value bit.  This bench measures the linear-in-
+width round scaling and verifies strong validity (the decided value is an
+actual input) across random proposal sets and adversaries.
+"""
+
+import random
+
+from conftest import print_series
+
+from repro.adversary import SilenceAdversary
+from repro.core import run_multivalued_consensus
+
+N = 33
+
+
+def test_rounds_linear_in_value_width(benchmark):
+    def workload():
+        rows = []
+        for bits in (1, 2, 4, 8):
+            result, _ = run_multivalued_consensus(
+                [pid % (1 << bits) for pid in range(N)],
+                value_bits=bits,
+                seed=41,
+            )
+            rows.append(
+                [bits, result.time_to_agreement(), result.metrics.bits_sent]
+            )
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        f"multi-valued consensus cost vs value width (n={N})",
+        ["value bits", "rounds", "comm bits"],
+        rows,
+    )
+    rounds = [r for _, r, _ in rows]
+    # Linear scaling: doubling the width about doubles the rounds.
+    per_bit = [r / bits for bits, r, _ in rows]
+    assert max(per_bit) / min(per_bit) < 1.6
+
+
+def test_strong_validity_across_workloads(benchmark):
+    def workload():
+        rng = random.Random(42)
+        outcomes = []
+        for trial in range(4):
+            proposals = [rng.randrange(1, 16) for _ in range(N)]
+            adversary = SilenceAdversary([trial]) if trial % 2 else None
+            result, _ = run_multivalued_consensus(
+                proposals,
+                value_bits=4,
+                adversary=adversary,
+                t=1,
+                seed=50 + trial,
+            )
+            decision = result.agreement_value()
+            outcomes.append(
+                [trial, decision, decision in proposals]
+            )
+        return outcomes
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "strong validity: decided value is a real proposal",
+        ["trial", "decision", "is an input"],
+        rows,
+    )
+    assert all(row[2] for row in rows)

@@ -1,0 +1,60 @@
+"""E-T1 — Table 1: the paper's main results table, measured.
+
+Regenerates every row of Table 1 at a concrete system size: measured
+rounds / communication bits / random bits for Theorem 1 (Algorithm 1) and
+Theorem 3 (Algorithm 4), and the numeric values of the three lower-bound
+rows ([10], [1], Theorem 2) at the same (n, t).
+"""
+
+from conftest import print_series
+
+from repro.analysis import render_table, table1
+from repro.analysis.theory import (
+    abraham_messages,
+    bar_joseph_ben_or_rounds,
+    theorem2_product,
+)
+from repro.core import run_consensus
+from repro.params import ProtocolParams
+
+N = 144
+PARAMS = ProtocolParams.practical()
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1(n=N, params=PARAMS, seed=7), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows))
+
+
+def test_table1_lower_bound_rows_vs_measured(benchmark):
+    """The measured upper-bound run must dominate every lower-bound row."""
+
+    def workload():
+        t = PARAMS.max_faults(N)
+        run = run_consensus(
+            [pid % 2 for pid in range(N)], t=t, params=PARAMS, seed=8
+        )
+        return run, t
+
+    run, t = benchmark.pedantic(workload, rounds=1, iterations=1)
+    rounds = run.result.time_to_agreement()
+    messages = run.metrics.messages_sent
+    product = rounds * (run.metrics.random_calls + rounds)
+
+    rows = [
+        ["[10] rounds", f"{bar_joseph_ben_or_rounds(N, t):.2f}",
+         rounds, rounds >= bar_joseph_ben_or_rounds(N, t)],
+        ["[1] messages", f"{abraham_messages(t):.0f}",
+         messages, messages >= abraham_messages(t)],
+        ["Thm 2 product", f"{theorem2_product(N, t):.1f}",
+         product, product >= theorem2_product(N, t)],
+    ]
+    print_series(
+        f"Table 1 lower-bound rows at n={N}, t={t}",
+        ["bound", "required", "measured", "holds"],
+        rows,
+    )
+    assert all(row[3] for row in rows)

@@ -1,0 +1,96 @@
+"""E-TH2 — Theorem 2: why a lot of randomness is needed.
+
+Three measurable pieces of the lower bound:
+
+1. Lemma 12 (coin-flipping game): minimal hide budgets scale like sqrt(k)
+   and stay below ``8 sqrt(k log 1/alpha)``;
+2. Theorem 6 (Talagrand): the concentration inequality the proof leans on,
+   verified exactly on threshold sets;
+3. Theorem 2's product: against the balancing adversary, the measured
+   ``T x (R + T)`` of a randomness-throttled voting protocol never drops
+   below ``t^2 / log2 n``, and throttling randomness inflates T.
+"""
+
+from conftest import print_series
+
+from repro.analysis import loglog_slope
+from repro.lowerbound import (
+    lemma12_budget,
+    measure_tradeoff_product,
+    sweep_lemma12,
+    verify_threshold_inequality,
+)
+
+
+def test_lemma12_hide_budgets(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_lemma12(
+            [64, 256, 1024, 4096], [0.25, 0.05], trials=1200
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.k, p.alpha, p.measured_budget, f"{p.lemma12_bound:.1f}",
+         f"{p.ratio:.3f}"]
+        for p in points
+    ]
+    print_series(
+        "Lemma 12: minimal hides to bias the coin game",
+        ["k", "alpha", "measured", "8 sqrt(k lg 1/a)", "ratio"],
+        rows,
+    )
+    assert all(p.measured_budget <= p.lemma12_bound for p in points)
+    quarter = [p for p in points if p.alpha == 0.25]
+    slope = loglog_slope(
+        [p.k for p in quarter], [max(1, p.measured_budget) for p in quarter]
+    )
+    print(f"\nmeasured budget ~ k^{slope:.2f} (Lemma 12 predicts 0.5)")
+    assert 0.3 < slope < 0.7
+
+
+def test_talagrand_inequality_grid(benchmark):
+    checks = benchmark.pedantic(
+        lambda: verify_threshold_inequality(
+            [16, 64, 256, 1024], [0.25, 0.5, 1.0, 2.0, 4.0]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    violations = [check for check in checks if not check.holds]
+    tight = max(
+        (check.lhs / check.rhs for check in checks if check.rhs > 0),
+    )
+    print(
+        f"\nTalagrand grid: {len(checks)} points, {len(violations)} "
+        f"violations, tightest lhs/rhs = {tight:.3f}"
+    )
+    assert violations == []
+
+
+def test_product_lower_bound_under_attack(benchmark):
+    n, t = 48, 12
+    points = benchmark.pedantic(
+        lambda: measure_tradeoff_product(
+            n, t, [0, 4, 12, 24, 48], seed=9, max_phases=250
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.coin_processes, p.rounds, p.random_calls, p.product,
+         f"{p.normalized:.1f}", p.agreement_ok]
+        for p in points
+    ]
+    print_series(
+        f"Theorem 2 product at n={n}, t={t} (reference t^2/lg n = "
+        f"{points[0].reference:.1f})",
+        ["k coins", "T", "R", "T(R+T)", "norm", "agreed"],
+        rows,
+    )
+    # The bound: no configuration beats t^2 / log n.
+    assert all(p.normalized >= 1.0 for p in points)
+    # The shape: cutting randomness to zero costs the most time.
+    assert points[0].rounds >= max(p.rounds for p in points[1:])
+    # Full randomness escapes the adversary quickly.
+    assert points[-1].rounds < points[0].rounds

@@ -1,0 +1,84 @@
+"""E-TRB — related-work primitive [34]: early-stopping TRB round counts.
+
+Roşu's early-stopping terminating reliable broadcast terminates in rounds
+proportional to the *actual* number of failures f, not the budget t.  This
+bench measures the shape: fault-free instances stop in O(1) rounds for any
+budget, and the cost climbs only as real faults accumulate, capped by the
+t+2 horizon.
+"""
+
+from conftest import print_series
+
+from repro.adversary import SilenceAdversary, StaticCrashAdversary
+from repro.baselines import run_trb
+
+
+def test_rounds_independent_of_budget_without_faults(benchmark):
+    def workload():
+        return [
+            (t, run_trb(32, 0, 9, t, seed=11)[0].time_to_agreement())
+            for t in (1, 3, 6, 9)
+        ]
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "fault-free TRB rounds vs budget t (n=32)",
+        ["t", "rounds"],
+        rows,
+    )
+    rounds = [r for _, r in rows]
+    assert len(set(rounds)) == 1
+    assert rounds[0] <= 6
+
+
+def test_rounds_track_actual_failures(benchmark):
+    """Crash a chain of relays including the sender: each actual fault can
+    buy the adversary at most ~one extra round."""
+
+    def workload():
+        t = 8
+        n = 40
+        rows = []
+        for f in (0, 1, 2, 4, 8):
+            # Crash the sender at round 1 (after a partial broadcast would
+            # be possible) and further processes in consecutive rounds.
+            schedule = {k: [k] for k in range(f)}
+            adversary = StaticCrashAdversary(schedule) if f else None
+            result, _ = run_trb(
+                n, sender=0, value=3, t=t, adversary=adversary, seed=12
+            )
+            values = set(result.non_faulty_decisions().values())
+            rows.append([f, result.time_to_agreement(), sorted(values)])
+        return rows
+
+    rows = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print_series(
+        "TRB rounds vs actual failures f (n=40, t=8)",
+        ["f", "rounds", "deliveries"],
+        rows,
+    )
+    fault_free = rows[0][1]
+    worst = max(r for _, r, _ in rows)
+    assert fault_free <= 6
+    assert worst <= 8 + 4  # bounded by the t+2 horizon + wind-down
+    for _, _, deliveries in rows:
+        assert len(deliveries) == 1  # agreement in every configuration
+
+
+def test_faulty_sender_consistency(benchmark):
+    def workload():
+        outcomes = []
+        for seed in range(5):
+            result, _ = run_trb(
+                32, sender=0, value=9, t=4,
+                adversary=SilenceAdversary([0]), seed=seed,
+            )
+            outcomes.append(
+                sorted(set(result.non_faulty_decisions().values()))
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(workload, rounds=1, iterations=1)
+    print(f"\ndeliveries with a silenced sender: {outcomes}")
+    for values in outcomes:
+        assert len(values) == 1

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (Table 1, Figures 1-3, or a
+theorem's predicted curve) and prints the reproduced rows/series.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables.  Timing uses ``benchmark.pedantic`` with a single
+iteration: the interesting measurements are the protocol's *metered*
+complexities (rounds / bits / random bits), not wall-clock microseconds.
+"""
+
+from __future__ import annotations
+
+
+def print_series(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Uniform plain-text rendering of a reproduced table/series."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(cell).rjust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,86 @@
+"""Valency explorer: the lower-bound proof's Pr(H, A) made concrete.
+
+The Theorem-2 proof classifies algorithm states by the probabilities an
+adaptive adversary can force (`Pr(H, A)` = probability of consensus on 1
+under strategy A).  For toy protocols these are exactly computable; this
+example walks through:
+
+1. deterministic valency (Lemma-13 witnesses, agreement-breaking horizons)
+   for flooding min-consensus;
+2. exact probability bands `(inf_A Pr, sup_A Pr)` for a randomized
+   coin-voting protocol, showing how one corruptible process widens the
+   band from a point to nearly [0, 1] — the "adversary controls the coin"
+   phenomenon the paper amortizes over rounds.
+
+Run:  python examples/valency_explorer.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.lowerbound import (
+    CoinVotingProtocol,
+    FloodMinProtocol,
+    classify_all_inputs,
+    classify_state,
+    probability_band,
+)
+
+
+def deterministic_part() -> None:
+    print("=== deterministic valency: flood-min on 3 processes ===")
+    for rounds in (1, 2):
+        protocol = FloodMinProtocol(n=3, max_rounds=rounds)
+        report = classify_all_inputs(protocol, t=1)
+        print(f"rounds={rounds} (t+1 = 2 needed):")
+        print(f"  0-valent : {report.univalent(0)}")
+        print(f"  1-valent : {report.univalent(1)}")
+        print(f"  bivalent : {report.bivalent()}")
+        print(f"  broken   : {report.broken()}")
+    print()
+
+
+def probabilistic_part() -> None:
+    print("=== probabilistic valency: coin-voting on 3 processes ===")
+    protocol = CoinVotingProtocol(n=3, max_rounds=3)
+    print(f"{'inputs':>10} {'t':>2} {'inf Pr[1]':>10} {'sup Pr[1]':>10} "
+          f"{'classification':>15}")
+    for t in (0, 1):
+        for inputs in itertools.product((0, 1), repeat=3):
+            result = classify_state(protocol, inputs, t, epsilon=0.2)
+            print(
+                f"{str(inputs):>10} {t:>2} "
+                f"{result.inf_probability:>10.3f} "
+                f"{result.sup_probability:>10.3f} "
+                f"{result.classification:>15}"
+            )
+        print()
+    print("reading: with t=0 the band is a single point (no adversarial")
+    print("choice); one corruptible process stretches mixed inputs to")
+    print("nearly [0, 1] — the adversary owns the outcome until the")
+    print("protocol spends enough randomness to escape (Theorem 2).")
+
+
+def band_growth_part() -> None:
+    print("\n=== band width vs horizon (inputs (0,1,1), t=1) ===")
+    for rounds in (1, 2, 3, 4):
+        protocol = CoinVotingProtocol(n=3, max_rounds=rounds)
+        inf_p, sup_p = probability_band(protocol, (0, 1, 1), t=1)
+        width = sup_p - inf_p
+        bar = "#" * round(40 * width)
+        print(f"rounds={rounds}: [{inf_p:.3f}, {sup_p:.3f}] width "
+              f"{width:.3f} {bar}")
+    print("\nmore rounds let the protocol re-try unification, but one")
+    print("crash-budget keeps the band wide: time alone cannot buy")
+    print("certainty against an adaptive adversary.")
+
+
+def main() -> None:
+    deterministic_part()
+    probabilistic_part()
+    band_growth_part()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: keeps ``pip install -e .`` working on offline machines
+without the ``wheel`` package (legacy develop-mode install)."""
+
+from setuptools import setup
+
+setup()

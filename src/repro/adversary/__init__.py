@@ -1,0 +1,40 @@
+"""Adaptive full-information omission adversaries (Section 2).
+
+The abstract interface (:class:`repro.runtime.Adversary`) lives in the
+runtime; this package provides the strategy gallery used by tests, examples
+and benchmarks.
+"""
+
+from ..runtime import Adversary, AdversaryAction, NetworkView
+from .chaos import ChaosAdversary
+from .compose import (
+    RecordingAdversary,
+    SequentialAdversary,
+    ThrottledAdversary,
+    UnionAdversary,
+)
+from .strategies import (
+    EclipseAdversary,
+    GroupKnockoutAdversary,
+    RandomOmissionAdversary,
+    SilenceAdversary,
+    StaticCrashAdversary,
+    VoteBalancingAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryAction",
+    "NetworkView",
+    "StaticCrashAdversary",
+    "SilenceAdversary",
+    "RandomOmissionAdversary",
+    "EclipseAdversary",
+    "GroupKnockoutAdversary",
+    "VoteBalancingAdversary",
+    "SequentialAdversary",
+    "UnionAdversary",
+    "ThrottledAdversary",
+    "RecordingAdversary",
+    "ChaosAdversary",
+]

@@ -1,0 +1,96 @@
+"""ChaosAdversary: a randomized legal-move fuzzer for protocol testing.
+
+Hand-written strategies probe failure modes their author thought of; the
+chaos adversary probes everything else.  Each round it draws a random but
+*legal* combination of moves:
+
+* with probability ``corrupt_rate`` (and budget left), corrupt a uniformly
+  random healthy process — sometimes a burst of several;
+* for every faulty-incident message, draw an omission from a per-(sender,
+  recipient) biased coin whose bias is itself randomized per link — so some
+  links are reliably dead, some flaky, some clean, and the pattern differs
+  every run;
+* occasionally flips a link's bias (the "faulty process changes who it
+  talks to round by round" behaviour Section B.3 highlights as the
+  difference from crashes).
+
+Used by the property-based fuzz tests: Algorithm 1 (and friends) must
+satisfy agreement/validity/termination under *any* seed of this adversary,
+because every generated schedule is within the model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..runtime import Adversary, AdversaryAction, NetworkView, SyncProcess
+from ..runtime.randomness import stable_seed
+
+
+class ChaosAdversary(Adversary):
+    """Randomized legal adversary for fuzzing (see module docstring)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        corrupt_rate: float = 0.08,
+        burst_rate: float = 0.02,
+        flip_rate: float = 0.05,
+    ) -> None:
+        for name, value in (
+            ("corrupt_rate", corrupt_rate),
+            ("burst_rate", burst_rate),
+            ("flip_rate", flip_rate),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = random.Random(stable_seed("chaos", seed))
+        self.corrupt_rate = corrupt_rate
+        self.burst_rate = burst_rate
+        self.flip_rate = flip_rate
+        #: Per-link omission bias, assigned lazily per (sender, recipient).
+        self._link_bias: dict[tuple[int, int], float] = {}
+
+    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
+        self._n = n
+
+    def _bias(self, link: tuple[int, int]) -> float:
+        bias = self._link_bias.get(link)
+        if bias is None or self._rng.random() < self.flip_rate:
+            # Mixture: dead links, flaky links, clean links.
+            roll = self._rng.random()
+            if roll < 0.3:
+                bias = 1.0
+            elif roll < 0.6:
+                bias = self._rng.uniform(0.2, 0.8)
+            else:
+                bias = 0.0
+            self._link_bias[link] = bias
+        return bias
+
+    def act(self, view: NetworkView) -> AdversaryAction:
+        rng = self._rng
+        corrupt: set[int] = set()
+        healthy = [
+            pid for pid in range(self._n) if pid not in view.faulty
+        ]
+        budget = view.budget_left
+        if healthy and budget > 0 and rng.random() < self.corrupt_rate:
+            count = 1
+            while (
+                count < budget
+                and count < len(healthy)
+                and rng.random() < self.burst_rate
+            ):
+                count += 1
+            corrupt.update(rng.sample(healthy, count))
+
+        faulty = view.faulty | corrupt
+        omit = frozenset(
+            index
+            for index, message in enumerate(view.messages)
+            if (message.sender in faulty or message.recipient in faulty)
+            and rng.random() < self._bias((message.sender, message.recipient))
+        )
+        return AdversaryAction(corrupt=frozenset(corrupt), omit=omit)

@@ -1,0 +1,77 @@
+"""Analysis helpers: theory curves, scaling fits, experiment drivers,
+and the Table-1 renderer."""
+
+from . import theory
+from .experiments import (
+    ScalingPoint,
+    balancing_adversary,
+    measure_ben_or,
+    measure_consensus_scaling,
+    measure_dolev_strong,
+    measure_phase_king,
+    measure_tradeoff_scaling,
+    mixed_inputs,
+    no_adversary,
+    silence_adversary,
+)
+from .campaign import (
+    CampaignSpec,
+    load_campaign,
+    run_campaign,
+    save_campaign,
+    summarize_campaign,
+)
+from .conformance import (
+    ConformanceReport,
+    ScenarioResult,
+    check_consensus_protocol,
+)
+from .fits import RatioSummary, least_squares_slope, loglog_slope, ratio_summary
+from .sparkline import hbar, render_series, sparkline
+from .montecarlo import (
+    RateEstimate,
+    agreement_failure_rate,
+    decision_bias,
+    estimate_rate,
+    fallback_rate_vs_epochs,
+    wilson_interval,
+)
+from .tables import Table1Row, render_table, table1
+
+__all__ = [
+    "theory",
+    "ScalingPoint",
+    "balancing_adversary",
+    "measure_ben_or",
+    "measure_consensus_scaling",
+    "measure_dolev_strong",
+    "measure_phase_king",
+    "measure_tradeoff_scaling",
+    "mixed_inputs",
+    "no_adversary",
+    "silence_adversary",
+    "RatioSummary",
+    "least_squares_slope",
+    "loglog_slope",
+    "ratio_summary",
+    "Table1Row",
+    "render_table",
+    "table1",
+    "CampaignSpec",
+    "load_campaign",
+    "run_campaign",
+    "save_campaign",
+    "summarize_campaign",
+    "ConformanceReport",
+    "ScenarioResult",
+    "check_consensus_protocol",
+    "hbar",
+    "render_series",
+    "sparkline",
+    "RateEstimate",
+    "agreement_failure_rate",
+    "decision_bias",
+    "estimate_rate",
+    "fallback_rate_vs_epochs",
+    "wilson_interval",
+]

@@ -1,0 +1,195 @@
+"""Batch experiment campaigns: grid sweeps with JSON persistence.
+
+For overnight parameter studies: declare a grid over (protocol, n,
+adversary, seeds), run it, and persist one JSON record per run (via the
+substrate's serialization helpers), so the analysis can happen offline and
+re-runs can resume where they stopped.
+
+A campaign *spec* is data, not code::
+
+    spec = CampaignSpec(
+        name="scaling-study",
+        protocol="algorithm1",            # or "tradeoff", "early-stopping"
+        ns=[64, 144, 256],
+        adversaries=["none", "silence", "balance"],
+        seeds=[0, 1, 2],
+        options={"x": 4},                 # protocol-specific extras
+    )
+    records = run_campaign(spec)
+    save_campaign(records, "scaling-study.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..adversary import (
+    RandomOmissionAdversary,
+    SilenceAdversary,
+    VoteBalancingAdversary,
+)
+from ..core import (
+    run_consensus,
+    run_early_stopping_consensus,
+    run_tradeoff_consensus,
+)
+from ..params import ProtocolParams
+from .experiments import mixed_inputs
+
+ADVERSARY_FACTORIES = {
+    "none": lambda n, t, seed: None,
+    "silence": lambda n, t, seed: SilenceAdversary(range(t)),
+    "random": lambda n, t, seed: RandomOmissionAdversary(0.6, seed=seed),
+    "balance": lambda n, t, seed: VoteBalancingAdversary(seed=seed),
+}
+
+PROTOCOLS = ("algorithm1", "tradeoff", "early-stopping")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a run grid."""
+
+    name: str
+    protocol: str = "algorithm1"
+    ns: Sequence[int] = (64,)
+    adversaries: Sequence[str] = ("none",)
+    seeds: Sequence[int] = (0,)
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        unknown = set(self.adversaries) - set(ADVERSARY_FACTORIES)
+        if unknown:
+            raise ValueError(
+                f"unknown adversaries {sorted(unknown)}; choose from "
+                f"{sorted(ADVERSARY_FACTORIES)}"
+            )
+
+    def grid(self):
+        """Yield every (n, adversary, seed) cell."""
+        for n in self.ns:
+            for adversary in self.adversaries:
+                for seed in self.seeds:
+                    yield n, adversary, seed
+
+
+def _run_cell(
+    spec: CampaignSpec, n: int, adversary_name: str, seed: int
+) -> dict[str, Any]:
+    params = ProtocolParams.practical()
+    t = params.max_faults(n)
+    adversary = ADVERSARY_FACTORIES[adversary_name](n, t, seed)
+    inputs = mixed_inputs(n)
+
+    if spec.protocol == "algorithm1":
+        run = run_consensus(
+            inputs, t=t, adversary=adversary, params=params, seed=seed
+        )
+    elif spec.protocol == "early-stopping":
+        run = run_early_stopping_consensus(
+            inputs, t=t, adversary=adversary, params=params, seed=seed
+        )
+    else:
+        x = int(spec.options.get("x", max(2, n // 16)))
+        run = run_tradeoff_consensus(
+            inputs, x, adversary=adversary, params=params, seed=seed
+        )
+
+    metrics = run.metrics
+    record: dict[str, Any] = {
+        "campaign": spec.name,
+        "protocol": spec.protocol,
+        "n": n,
+        "t": t,
+        "adversary": adversary_name,
+        "seed": seed,
+        "decision": run.decision,
+        "rounds": run.result.time_to_agreement(),
+        "messages": metrics.messages_sent,
+        "bits": metrics.bits_sent,
+        "random_bits": metrics.random_bits,
+        "random_calls": metrics.random_calls,
+        "faulty": sorted(run.result.faulty),
+        "fallback": bool(
+            getattr(run, "ran_deterministic_fallback", run.used_fallback)
+        ),
+    }
+    if spec.protocol == "early-stopping":
+        record["exit_epochs"] = sorted(
+            {process.exited_epoch for process in run.processes}
+        )
+    if spec.protocol == "tradeoff":
+        record["x"] = int(spec.options.get("x", max(2, n // 16)))
+    return record
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    resume_from: Sequence[dict[str, Any]] = (),
+) -> list[dict[str, Any]]:
+    """Run every grid cell; cells present in ``resume_from`` are reused.
+
+    A cell is identified by (protocol, n, adversary, seed).
+    """
+    done = {
+        (rec["protocol"], rec["n"], rec["adversary"], rec["seed"]): rec
+        for rec in resume_from
+        if rec.get("campaign") == spec.name
+    }
+    records = []
+    for n, adversary, seed in spec.grid():
+        key = (spec.protocol, n, adversary, seed)
+        if key in done:
+            records.append(done[key])
+            continue
+        records.append(_run_cell(spec, n, adversary, seed))
+    return records
+
+
+def save_campaign(
+    records: Sequence[dict[str, Any]], path: str | Path
+) -> None:
+    """Persist campaign records as a JSON array."""
+    Path(path).write_text(
+        json.dumps(list(records), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_campaign(path: str | Path) -> list[dict[str, Any]]:
+    """Read records written by :func:`save_campaign`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def summarize_campaign(
+    records: Sequence[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Aggregate records per (protocol, n, adversary): means over seeds."""
+    buckets: dict[tuple, list[dict[str, Any]]] = {}
+    for record in records:
+        key = (record["protocol"], record["n"], record["adversary"])
+        buckets.setdefault(key, []).append(record)
+    summary = []
+    for (protocol, n, adversary), group in sorted(buckets.items()):
+        count = len(group)
+        summary.append(
+            {
+                "protocol": protocol,
+                "n": n,
+                "adversary": adversary,
+                "runs": count,
+                "mean_rounds": sum(r["rounds"] for r in group) / count,
+                "mean_bits": sum(r["bits"] for r in group) / count,
+                "mean_random_bits": sum(r["random_bits"] for r in group)
+                / count,
+                "fallback_rate": sum(r["fallback"] for r in group) / count,
+                "decisions": sorted({r["decision"] for r in group}),
+            }
+        )
+    return summary

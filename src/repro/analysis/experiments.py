@@ -1,0 +1,248 @@
+"""Experiment drivers shared by benchmarks, examples and the CLI.
+
+Each driver runs a protocol sweep on the synchronous substrate and returns
+plain dataclasses with the paper's three complexity measures, so the
+benchmark modules stay thin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..adversary import SilenceAdversary, VoteBalancingAdversary
+from ..baselines import run_ben_or, run_phase_king
+from ..baselines.dolev_strong import DolevStrongProcess
+from ..core import run_consensus, run_tradeoff_consensus
+from ..params import ProtocolParams
+from ..runtime import Adversary, SyncNetwork
+
+AdversaryFactory = Callable[[int, int], Adversary | None]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (n, adversary) measurement of a consensus protocol."""
+
+    n: int
+    t: int
+    rounds: int
+    bits_sent: int
+    messages_sent: int
+    random_bits: int
+    random_calls: int
+    decision: int
+    used_fallback: bool
+
+
+def no_adversary(n: int, t: int) -> Adversary | None:
+    return None
+
+
+def silence_adversary(n: int, t: int) -> Adversary:
+    """Silence the full fault budget from round 0 (crash-like worst case)."""
+    return SilenceAdversary(range(t))
+
+
+def balancing_adversary(n: int, t: int) -> Adversary:
+    """The adaptive vote-balancing strategy (strongest implemented)."""
+    return VoteBalancingAdversary(seed=n)
+
+
+def mixed_inputs(n: int) -> list[int]:
+    """The hardest input assignment: a perfectly balanced split."""
+    return [pid % 2 for pid in range(n)]
+
+
+def measure_consensus_scaling(
+    ns: Sequence[int],
+    adversary_factory: AdversaryFactory = no_adversary,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    whp_retries: int = 3,
+) -> list[ScalingPoint]:
+    """Run Algorithm 1 across system sizes; collect Table-1 measurables.
+
+    ``whp_retries``: the paper's complexity bounds describe the
+    whp fast path; at simulable n the truncated epoch budget drops to the
+    Dolev-Strong fallback with a few percent probability, whose O(n^2 t)
+    bits would dominate a scaling plot.  To measure the whp path, a run
+    that hit the deterministic fallback is retried (fresh seed) up to
+    ``whp_retries`` times; the last attempt is reported either way, and
+    ``used_fallback`` records what happened.
+    """
+    params = params if params is not None else ProtocolParams.practical()
+    points = []
+    for n in ns:
+        t = params.max_faults(n)
+        run = None
+        for attempt in range(max(1, whp_retries)):
+            run = run_consensus(
+                mixed_inputs(n),
+                t=t,
+                adversary=adversary_factory(n, t),
+                params=params,
+                seed=seed + n + 7919 * attempt,
+            )
+            if not run.ran_deterministic_fallback:
+                break
+        metrics = run.metrics
+        points.append(
+            ScalingPoint(
+                n=n,
+                t=t,
+                rounds=run.result.time_to_agreement(),
+                bits_sent=metrics.bits_sent,
+                messages_sent=metrics.messages_sent,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                decision=run.decision,
+                used_fallback=run.ran_deterministic_fallback,
+            )
+        )
+    return points
+
+
+def measure_tradeoff_scaling(
+    n: int,
+    xs: Sequence[int],
+    adversary_factory: AdversaryFactory = no_adversary,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Run Algorithm 4 across super-process counts at fixed n."""
+    params = params if params is not None else ProtocolParams.practical()
+    points = []
+    for x in xs:
+        run = run_tradeoff_consensus(
+            mixed_inputs(n),
+            x,
+            adversary=adversary_factory(n, 0),
+            params=params,
+            seed=seed + x,
+        )
+        metrics = run.metrics
+        points.append(
+            ScalingPoint(
+                n=n,
+                t=run.processes[0].t,
+                rounds=run.result.time_to_agreement(),
+                bits_sent=metrics.bits_sent,
+                messages_sent=metrics.messages_sent,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                decision=run.decision,
+                used_fallback=run.used_fallback,
+            )
+        )
+    return points
+
+
+def measure_dolev_strong(
+    ns: Sequence[int],
+    fault_fraction: int = 8,
+    adversary_factory: AdversaryFactory = silence_adversary,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Run the deterministic baseline across system sizes.
+
+    ``fault_fraction`` keeps t = n / fault_fraction small enough that the
+    chain protocol stays tractable (its bits grow like n^2 t).
+    """
+    points = []
+    for n in ns:
+        t = max(1, n // fault_fraction)
+        inputs = mixed_inputs(n)
+        processes = [
+            DolevStrongProcess(pid, n, inputs[pid], t) for pid in range(n)
+        ]
+        network = SyncNetwork(
+            processes,
+            adversary=adversary_factory(n, t),
+            t=t,
+            seed=seed + n,
+        )
+        result = network.run()
+        decision = result.agreement_value()
+        metrics = result.metrics
+        points.append(
+            ScalingPoint(
+                n=n,
+                t=t,
+                rounds=result.time_to_agreement(),
+                bits_sent=metrics.bits_sent,
+                messages_sent=metrics.messages_sent,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                decision=decision,
+                used_fallback=False,
+            )
+        )
+    return points
+
+
+def measure_phase_king(
+    ns: Sequence[int],
+    fault_fraction: int = 8,
+    adversary_factory: AdversaryFactory = silence_adversary,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Run the phase-king baseline across system sizes."""
+    points = []
+    for n in ns:
+        t = max(1, min(n // fault_fraction, (n - 1) // 4))
+        result, _ = run_phase_king(
+            mixed_inputs(n),
+            t,
+            adversary=adversary_factory(n, t),
+            seed=seed + n,
+        )
+        decision = result.agreement_value()
+        metrics = result.metrics
+        points.append(
+            ScalingPoint(
+                n=n,
+                t=t,
+                rounds=result.time_to_agreement(),
+                bits_sent=metrics.bits_sent,
+                messages_sent=metrics.messages_sent,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                decision=decision,
+                used_fallback=False,
+            )
+        )
+    return points
+
+
+def measure_ben_or(
+    ns: Sequence[int],
+    fault_fraction: int = 8,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Run the broadcast-voting baseline (crash model) across sizes."""
+    points = []
+    for n in ns:
+        t = max(1, n // fault_fraction)
+        result, _ = run_ben_or(
+            mixed_inputs(n),
+            t=t,
+            adversary=SilenceAdversary(range(t)),
+            seed=seed + n,
+        )
+        decision = result.agreement_value()
+        metrics = result.metrics
+        points.append(
+            ScalingPoint(
+                n=n,
+                t=t,
+                rounds=result.time_to_agreement(),
+                bits_sent=metrics.bits_sent,
+                messages_sent=metrics.messages_sent,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                decision=decision,
+                used_fallback=False,
+            )
+        )
+    return points

@@ -1,0 +1,76 @@
+"""Scaling fits: log-log slopes and measured/theory ratio summaries.
+
+Pure-Python least squares — the quantities involved are tiny (a handful of
+sweep points), so no numerical library is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of the least-squares line through (xs, ys)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a slope")
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0:
+        raise ValueError("xs are constant; slope undefined")
+    return covariance / variance
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Exponent estimate: slope of log y against log x.
+
+    A measured series ``y ~ x^p * polylog(x)`` yields a slope close to ``p``
+    (slightly above, because of the polylog) — the benchmark's shape check.
+    """
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit requires positive data")
+    return least_squares_slope(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """How a measured series compares to a theory curve."""
+
+    minimum: float
+    maximum: float
+    mean: float
+
+    @property
+    def spread(self) -> float:
+        """max/min of the ratio — a flat ratio (small spread) means the
+        measured series follows the theory shape."""
+        if self.minimum == 0:
+            return math.inf
+        return self.maximum / self.minimum
+
+
+def ratio_summary(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> RatioSummary:
+    """Summarize measured/predicted across a sweep."""
+    if len(measured) != len(predicted):
+        raise ValueError("series must have equal length")
+    if not measured:
+        raise ValueError("empty series")
+    ratios = []
+    for value, reference in zip(measured, predicted):
+        if reference <= 0:
+            raise ValueError(f"non-positive prediction {reference}")
+        ratios.append(value / reference)
+    return RatioSummary(
+        minimum=min(ratios),
+        maximum=max(ratios),
+        mean=sum(ratios) / len(ratios),
+    )

@@ -1,0 +1,139 @@
+"""Rendering of Table 1 — the paper's single results table — with measured
+columns next to the theory shapes.
+
+Table 1 lists, per result, the time / communication-bit / random-bit
+complexities.  :func:`table1` runs the two algorithms (Theorems 1 and 3) at
+one system size and evaluates the three lower-bound rows ([10], [1],
+Theorem 2) numerically at the same (n, t), producing the same rows the paper
+reports — with measured values where the paper has asymptotics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import run_consensus, run_tradeoff_consensus
+from ..params import ProtocolParams
+from . import theory
+from .experiments import mixed_inputs
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the reproduced Table 1."""
+
+    result: str
+    time: str
+    comm_bits: str
+    random_bits: str
+    comments: str
+
+
+def _fmt(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}k"
+    return f"{value:.0f}" if value == int(value) else f"{value:.2f}"
+
+
+def table1(
+    n: int = 128,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    x: int | None = None,
+) -> list[Table1Row]:
+    """Reproduce Table 1 at a concrete (n, t): measured + theory rows."""
+    params = params if params is not None else ProtocolParams.practical()
+    t = params.max_faults(n)
+    inputs = mixed_inputs(n)
+
+    main = run_consensus(inputs, t=t, params=params, seed=seed)
+    main_metrics = main.metrics
+    main_time = main.result.time_to_agreement()
+
+    if x is None:
+        x = max(2, n // 16)
+    tradeoff = run_tradeoff_consensus(inputs, x, params=params, seed=seed)
+    tradeoff_metrics = tradeoff.metrics
+    tradeoff_time = tradeoff.result.time_to_agreement()
+
+    rows = [
+        Table1Row(
+            result="Thm 1 (measured)",
+            time=f"{main_time} rounds",
+            comm_bits=_fmt(main_metrics.bits_sent),
+            random_bits=_fmt(main_metrics.random_bits),
+            comments=f"n={n}, t={t}, decision={main.decision}",
+        ),
+        Table1Row(
+            result="Thm 1 (theory)",
+            time=_fmt(theory.theorem1_rounds(n, t)),
+            comm_bits=_fmt(theory.theorem1_bits(n, t)),
+            random_bits=_fmt(theory.theorem1_random_bits(n, t)),
+            comments="O(sqrt(n)log^2 n), O(n^2 log^3 n), O(n^1.5 log^2 n)",
+        ),
+        Table1Row(
+            result="Thm 3 (measured)",
+            time=f"{tradeoff_time} rounds",
+            comm_bits=_fmt(tradeoff_metrics.bits_sent),
+            random_bits=_fmt(tradeoff_metrics.random_bits),
+            comments=f"x={x} super-processes, decision={tradeoff.decision}",
+        ),
+        Table1Row(
+            result="Thm 3 (theory)",
+            time=_fmt(theory.theorem3_rounds(n, x)),
+            comm_bits=_fmt(theory.theorem1_bits(n, t)),
+            random_bits=_fmt(theory.theorem3_random_bits(n, x)),
+            comments="O(n^2/R log^2 n) rounds for R random bits",
+        ),
+        Table1Row(
+            result="[10] lower bound",
+            time=_fmt(theory.bar_joseph_ben_or_rounds(n, t)),
+            comm_bits="-",
+            random_bits="-",
+            comments="Omega(t/sqrt(n log n)) rounds, correct prob. = 1",
+        ),
+        Table1Row(
+            result="[1] lower bound",
+            time="-",
+            comm_bits=_fmt(theory.abraham_messages(t)),
+            random_bits="-",
+            comments="Omega(eps t^2) messages, correct prob. >= 3/4 + eps",
+        ),
+        Table1Row(
+            result="Thm 2 lower bound",
+            time="T",
+            comm_bits="-",
+            random_bits="R",
+            comments=(
+                "T(R+T) >= t^2/log n = " + _fmt(theory.theorem2_product(n, t))
+            ),
+        ),
+    ]
+    return rows
+
+
+def render_table(rows: list[Table1Row]) -> str:
+    """ASCII-render Table 1 rows."""
+    headers = ("result", "time", "comm. bits", "random bits", "comments")
+    cells = [headers] + [
+        (row.result, row.time, row.comm_bits, row.random_bits, row.comments)
+        for row in rows
+    ]
+    widths = [
+        max(len(line[column]) for line in cells)
+        for column in range(len(headers))
+    ]
+    border = "+".join("-" * (width + 2) for width in widths)
+    border = f"+{border}+"
+    lines = [border]
+    for index, line in enumerate(cells):
+        rendered = " | ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)
+        )
+        lines.append(f"| {rendered} |")
+        if index == 0:
+            lines.append(border)
+    lines.append(border)
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Dolev-Strong-style deterministic consensus for the omission model.
+
+Algorithm 1 line 18 falls back to "the deterministic synchronous consensus
+algorithm given in Theorem 4 in [15]" (Dolev & Strong, SICOMP'83).  The
+original uses signatures against Byzantine faults; in the *omission* model
+processes never lie, so a relay chain of distinct process ids plays the role
+of the signature chain and is unforgeable (see DESIGN.md, Substitutions).
+
+Protocol (t+1 rounds, all broadcast traffic batched one message per pair per
+round):
+
+* every participant is the source of one broadcast; round 1 it sends
+  ``(source=self, value, chain=(self,))``;
+* a record arriving at the end of round r is *accepted* iff its chain has
+  exactly r distinct ids, starts at its source, ends at the message's actual
+  sender, and does not contain the receiver; first accepted value per source
+  wins (sources cannot equivocate in this fault model);
+* records accepted before round t+1 are relayed next round with the
+  receiver's id appended;
+* after round t+1, the decision is the majority over accepted source values
+  (ties toward 1) — identical accepted sets at all correct participants give
+  agreement, and unanimity of inputs gives validity.
+
+This is simultaneously the paper's deterministic *baseline* (the 40-year-old
+O(t)-round, O(n^2 t)-bit comparator from the introduction) and the
+low-probability fallback branch of Algorithms 1 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime import Message, ProcessEnv, Program, SyncProcess
+
+TAG_DS = 5
+
+#: A relayed record: (source, value, chain-of-distinct-relayer-ids).
+Record = tuple[int, int, tuple[int, ...]]
+
+
+def _valid_record(
+    record: Any, round_index: int, sender: int, receiver: int
+) -> bool:
+    """Check the chain discipline for a record received in ``round_index``."""
+    if not (isinstance(record, tuple) and len(record) == 3):
+        return False
+    source, value, chain = record
+    if value not in (0, 1):
+        return False
+    if not isinstance(chain, tuple) or len(chain) != round_index:
+        return False
+    if len(set(chain)) != len(chain):
+        return False
+    if chain[0] != source or chain[-1] != sender:
+        return False
+    if receiver in chain:
+        return False
+    return True
+
+
+def dolev_strong_consensus(
+    env: ProcessEnv,
+    t: int,
+    input_bit: int,
+    participating: bool = True,
+) -> Program:
+    """Run the t+1-round chain consensus; returns the decision bit.
+
+    Non-participating callers (``participating=False``) stay silent but keep
+    lockstep, consuming the same ``t + 1`` rounds and returning ``None``.
+    """
+    pid = env.pid
+    rounds = t + 1
+    accepted: dict[int, int] = {}
+    pending: list[Record] = []
+    if participating:
+        accepted[pid] = input_bit
+        pending.append((pid, input_bit, (pid,)))
+
+    for round_index in range(1, rounds + 1):
+        if participating and pending:
+            env.broadcast((TAG_DS, tuple(pending)))
+        pending = []
+        inbox: list[Message] = yield
+        if not participating:
+            continue
+        for message in inbox:
+            payload = message.payload
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == TAG_DS
+            ):
+                continue
+            for record in payload[1]:
+                if not _valid_record(record, round_index, message.sender, pid):
+                    continue
+                source, value, chain = record
+                if source in accepted:
+                    continue
+                accepted[source] = value
+                if round_index < rounds:
+                    pending.append((source, value, chain + (pid,)))
+
+    if not participating:
+        return None
+    ones = sum(1 for value in accepted.values() if value == 1)
+    zeros = len(accepted) - ones
+    return 1 if ones >= zeros else 0
+
+
+class DolevStrongProcess(SyncProcess):
+    """Standalone baseline: every process participates and decides.
+
+    The 40-year-old deterministic comparator of the paper's introduction:
+    O(t) rounds and O(n^2 t)-scale communication against any omission
+    adversary with ``t < n/2`` (the majority-aggregation step needs honest
+    sources to dominate for validity).
+    """
+
+    def __init__(self, pid: int, n: int, input_bit: int, t: int) -> None:
+        super().__init__(pid, n)
+        if input_bit not in (0, 1):
+            raise ValueError(f"input bit must be 0 or 1, got {input_bit!r}")
+        if not 0 <= t < n:
+            raise ValueError(f"fault budget t={t} must satisfy 0 <= t < n")
+        self.input_bit = input_bit
+        self.t = t
+        self.decision: int | None = None
+
+    def program(self, env: ProcessEnv) -> Program:
+        decision = yield from dolev_strong_consensus(
+            env, self.t, self.input_bit, participating=True
+        )
+        self.decision = decision
+        env.decide(decision)
+        return None

@@ -1,0 +1,289 @@
+"""Command-line interface: ``repro-consensus``.
+
+Subcommands mirror the experiment index in DESIGN.md::
+
+    repro-consensus run --n 128 --adversary balance
+    repro-consensus tradeoff --n 64 --xs 1,2,4,8
+    repro-consensus table1 --n 128
+    repro-consensus coin-game --ks 64,256 --alpha 0.25
+    repro-consensus graph-check --n 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .adversary import (
+    RandomOmissionAdversary,
+    SilenceAdversary,
+    VoteBalancingAdversary,
+)
+from .analysis import render_table, table1
+from .core import run_consensus, run_tradeoff_consensus
+from .graphs import spreading_graph, theorem4_report
+from .analysis.montecarlo import decision_bias, fallback_rate_vs_epochs
+from .lowerbound import sweep_lemma12
+from .params import ProtocolParams
+from .runtime import Adversary
+
+ADVERSARIES = {
+    "none": lambda n, t, seed: None,
+    "silence": lambda n, t, seed: SilenceAdversary(range(t)),
+    "random": lambda n, t, seed: RandomOmissionAdversary(0.6, seed=seed),
+    "balance": lambda n, t, seed: VoteBalancingAdversary(seed=seed),
+}
+
+
+def _build_adversary(name: str, n: int, t: int, seed: int) -> Adversary | None:
+    try:
+        factory = ADVERSARIES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
+        )
+    return factory(n, t, seed)
+
+
+def _parse_int_list(text: str) -> list[int]:
+    return [int(item) for item in text.split(",") if item]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = ProtocolParams.practical()
+    n = args.n
+    t = args.t if args.t is not None else params.max_faults(n)
+    inputs = [pid % 2 for pid in range(n)] if args.inputs == "mixed" else (
+        [int(args.inputs)] * n
+    )
+    adversary = _build_adversary(args.adversary, n, t, args.seed)
+    run = run_consensus(inputs, t=t, adversary=adversary, seed=args.seed)
+    metrics = run.metrics
+    if args.json:
+        import json
+
+        from .runtime import result_to_dict
+
+        payload = result_to_dict(run.result)
+        payload["decision"] = run.decision
+        payload["time_to_agreement"] = run.result.time_to_agreement()
+        payload["used_fallback"] = run.used_fallback
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"decision      : {run.decision}")
+    print(f"time (rounds) : {run.result.time_to_agreement()}")
+    print(f"comm. bits    : {metrics.bits_sent}")
+    print(f"messages      : {metrics.messages_sent}")
+    print(f"random bits   : {metrics.random_bits}")
+    print(f"faulty        : {sorted(run.result.faulty)}")
+    print(f"used fallback : {run.used_fallback}")
+    from .analysis.sparkline import render_series
+
+    print(render_series("traffic/round", metrics.messages_per_round, width=64))
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    n = args.n
+    inputs = [pid % 2 for pid in range(n)]
+    print(f"{'x':>5} {'rounds':>8} {'random bits':>12} {'comm bits':>12}")
+    for x in _parse_int_list(args.xs):
+        run = run_tradeoff_consensus(inputs, x, seed=args.seed)
+        metrics = run.metrics
+        print(
+            f"{x:>5} {run.result.time_to_agreement():>8} "
+            f"{metrics.random_bits:>12} {metrics.bits_sent:>12}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table(table1(n=args.n, seed=args.seed)))
+    return 0
+
+
+def _cmd_coin_game(args: argparse.Namespace) -> int:
+    points = sweep_lemma12(
+        _parse_int_list(args.ks), [args.alpha], trials=args.trials
+    )
+    print(f"{'k':>7} {'alpha':>7} {'measured':>9} {'Lemma 12':>9} {'ratio':>6}")
+    for point in points:
+        print(
+            f"{point.k:>7} {point.alpha:>7} {point.measured_budget:>9} "
+            f"{point.lemma12_bound:>9.1f} {point.ratio:>6.3f}"
+        )
+    return 0
+
+
+def _cmd_graph_check(args: argparse.Namespace) -> int:
+    params = ProtocolParams.practical()
+    delta = params.delta(args.n)
+    graph = spreading_graph(args.n, delta, args.seed)
+    report = theorem4_report(graph, delta)
+    print(f"n={args.n} delta={delta} edges={graph.edge_count}")
+    print(
+        f"degrees in [{report.degrees.minimum}, {report.degrees.maximum}] "
+        f"(target {report.degrees.expected}); "
+        f"within bounds: {report.degrees.within_bounds}"
+    )
+    print(f"(n/10)-expanding     : {report.expanding}")
+    print(f"(n/10, d/15)-sparse  : {report.edge_sparse}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    print(f"fallback rate vs epoch budget (n={args.n}, {args.trials} trials):")
+    for epochs, estimate in fallback_rate_vs_epochs(
+        args.n, _parse_int_list(args.epochs), trials=args.trials,
+        seed=args.seed,
+    ):
+        print(f"  epochs={epochs:>3}: {estimate}")
+    bias = decision_bias(args.n, trials=args.trials, seed=args.seed)
+    print(f"decision bias toward 1 on balanced inputs: {bias}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .analysis.campaign import (
+        CampaignSpec,
+        load_campaign,
+        run_campaign,
+        save_campaign,
+        summarize_campaign,
+    )
+
+    spec = CampaignSpec(
+        name=args.name,
+        protocol=args.protocol,
+        ns=_parse_int_list(args.ns),
+        adversaries=args.adversaries.split(","),
+        seeds=_parse_int_list(args.seeds),
+    )
+    resume = []
+    output = args.output
+    try:
+        resume = load_campaign(output)
+        print(f"resuming from {output} ({len(resume)} records)")
+    except FileNotFoundError:
+        pass
+    records = run_campaign(spec, resume_from=resume)
+    save_campaign(records, output)
+    print(f"wrote {output} ({len(records)} records)")
+    for row in summarize_campaign(records):
+        print(
+            f"  {row['protocol']} n={row['n']:>4} {row['adversary']:>8}: "
+            f"rounds={row['mean_rounds']:.1f} bits={row['mean_bits']:.0f} "
+            f"rbits={row['mean_random_bits']:.1f} "
+            f"fallback={row['fallback_rate']:.2f}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import render_markdown, run_full_report
+
+    records = run_full_report()
+    text = render_markdown(records)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} ({len(records)} experiments)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus",
+        description=(
+            "Nearly-optimal consensus tolerating adaptive omissions "
+            "(PODC 2024) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run Algorithm 1 once")
+    run_parser.add_argument("--n", type=int, default=128)
+    run_parser.add_argument("--t", type=int, default=None)
+    run_parser.add_argument(
+        "--inputs", default="mixed", help='"mixed", "0" or "1"'
+    )
+    run_parser.add_argument(
+        "--adversary", default="none", choices=sorted(ADVERSARIES)
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full execution result as JSON",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    tradeoff_parser = sub.add_parser(
+        "tradeoff", help="sweep Algorithm 4 over super-process counts"
+    )
+    tradeoff_parser.add_argument("--n", type=int, default=64)
+    tradeoff_parser.add_argument("--xs", default="1,2,4,8,16")
+    tradeoff_parser.add_argument("--seed", type=int, default=0)
+    tradeoff_parser.set_defaults(func=_cmd_tradeoff)
+
+    table_parser = sub.add_parser("table1", help="reproduce Table 1")
+    table_parser.add_argument("--n", type=int, default=128)
+    table_parser.add_argument("--seed", type=int, default=0)
+    table_parser.set_defaults(func=_cmd_table1)
+
+    coin_parser = sub.add_parser(
+        "coin-game", help="Lemma-12 coin-flipping-game measurements"
+    )
+    coin_parser.add_argument("--ks", default="16,64,256")
+    coin_parser.add_argument("--alpha", type=float, default=0.25)
+    coin_parser.add_argument("--trials", type=int, default=1000)
+    coin_parser.set_defaults(func=_cmd_coin_game)
+
+    graph_parser = sub.add_parser(
+        "graph-check", help="Theorem-4 spreading-graph property checks"
+    )
+    graph_parser.add_argument("--n", type=int, default=512)
+    graph_parser.add_argument("--seed", type=int, default=0)
+    graph_parser.set_defaults(func=_cmd_graph_check)
+
+    ablation_parser = sub.add_parser(
+        "ablation", help="epoch-budget ablation + decision-bias Monte Carlo"
+    )
+    ablation_parser.add_argument("--n", type=int, default=48)
+    ablation_parser.add_argument("--epochs", default="1,2,4,8")
+    ablation_parser.add_argument("--trials", type=int, default=10)
+    ablation_parser.add_argument("--seed", type=int, default=0)
+    ablation_parser.set_defaults(func=_cmd_ablation)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="batch grid sweep with JSON persistence/resume"
+    )
+    campaign_parser.add_argument("--name", default="campaign")
+    campaign_parser.add_argument(
+        "--protocol", default="algorithm1",
+        choices=["algorithm1", "tradeoff", "early-stopping"],
+    )
+    campaign_parser.add_argument("--ns", default="64,100")
+    campaign_parser.add_argument("--adversaries", default="none,silence")
+    campaign_parser.add_argument("--seeds", default="0,1")
+    campaign_parser.add_argument("--output", default="campaign.json")
+    campaign_parser.set_defaults(func=_cmd_campaign)
+
+    report_parser = sub.add_parser(
+        "report", help="run the full battery and write EXPERIMENTS.md"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    report_parser.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

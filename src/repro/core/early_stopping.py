@@ -1,0 +1,231 @@
+"""Early-stopping variant of Algorithm 1 (a Section-6 future-work item).
+
+Algorithm 1 always runs its full ``Theta(t/sqrt(n) log n)`` epoch budget —
+even when the very first epoch already unified the candidate bits (e.g. on
+unanimous inputs, where the paper's validity argument shows no coin is ever
+touched).  The omission literature the paper cites ([33], [34]) studies
+*early-stopping* protocols whose running time adapts to the actual number
+of failures; this module brings that idea to Algorithm 1:
+
+After every epoch, one extra *poll* round is inserted: processes whose
+safety flag (line 12) is set broadcast READY.  A process that receives
+READY from **more than n/2 distinct processes** exits the epoch loop
+immediately and proceeds to the dissemination round.
+
+Why the majority rule keeps the protocol safe:
+
+* **No premature exit.** READY senders are ``decided`` processes, so an
+  exit implies more than n/2 processes passed the 27/30 safety threshold —
+  by the Lemma-11 argument all operative processes then share one candidate
+  bit, and that bit can never change again (unanimity is absorbing).
+* **Desynchronization is harmless.** The adversary can deliver faulty
+  READYs selectively, so *different* processes may exit in different
+  epochs.  Stragglers keep running epochs among a shrinking population:
+  either they keep their (already unified) bit — unanimous counts are
+  absorbing — or they lose quorums and go inoperative; both paths end in
+  the same decision value through lines 14-20.  Phase misalignment is
+  tolerated because every sub-protocol dispatches on message tags and
+  ignores foreign traffic.
+
+The variant's win is measured in `benchmarks/bench_early_stopping.py`:
+unanimous or skewed inputs finish after one epoch instead of the full
+budget, and the saving shrinks as the adversary forces more epochs — the
+"adapt to actual faults" behaviour early-stopping is about.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines.dolev_strong import dolev_strong_consensus
+from ..params import ProtocolParams
+from ..runtime import (
+    Adversary,
+    Message,
+    ProcessEnv,
+    Program,
+    SyncNetwork,
+    idle_rounds,
+)
+from .aggregation import group_bits_aggregation
+from .consensus import (
+    ConsensusRun,
+    CoreState,
+    OptimalOmissionsConsensus,
+    TAG_DECISION,
+    _decision_from,
+    shared_spreading_graph,
+)
+from .partition import cached_bag_tree, cached_sqrt_partition, global_stage_count
+from .spreading import SpreadingState, group_bits_spreading
+from .voting import apply_vote_rule
+
+TAG_READY = 13
+
+
+def _ready_count(inbox: list[Message]) -> int:
+    senders = {
+        message.sender
+        for message in inbox
+        if isinstance(message.payload, tuple)
+        and len(message.payload) == 1
+        and message.payload[0] == TAG_READY
+    }
+    return len(senders)
+
+
+class EarlyStoppingConsensus(OptimalOmissionsConsensus):
+    """Algorithm 1 with a per-epoch READY poll and majority early exit.
+
+    Public state adds ``exited_epoch`` — the epoch after which this process
+    left the loop (equal to the full budget when it never exited early).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.exited_epoch: int | None = None
+
+    def epoch_rounds(self) -> int:
+        """One poll round on top of the base epoch length."""
+        return super().epoch_rounds() + 1
+
+    def program(self, env: ProcessEnv) -> Program:
+        n, params = self.n, self.params
+        state: CoreState = self.state
+        partition = cached_sqrt_partition(n)
+        my_group = partition.group_index_of(self.pid)
+        group = partition.group_members(my_group)
+        tree = cached_bag_tree(group)
+        stage_budget = global_stage_count(partition)
+        spread_rounds = params.spread_rounds(n)
+        degree_threshold = params.operative_degree_threshold(n)
+        graph = shared_spreading_graph(n, params.delta(n), self.graph_seed)
+        spreading_state = SpreadingState(
+            neighbors=tuple(sorted(graph.neighbors(self.pid)))
+        )
+
+        for epoch in range(self.num_epochs):
+            state.epoch = epoch
+            aggregation = yield from group_bits_aggregation(
+                env, group, tree, state.operative, state.b, params,
+                stage_budget,
+            )
+            if state.operative and not aggregation.operative:
+                state.operative = False
+            if state.operative:
+                spread = yield from group_bits_spreading(
+                    env,
+                    spreading_state,
+                    partition.group_count,
+                    my_group,
+                    (aggregation.ones, aggregation.zeros),
+                    spread_rounds,
+                    degree_threshold,
+                )
+                if not spread.operative:
+                    state.operative = False
+                else:
+                    outcome = apply_vote_rule(
+                        spread.ones, spread.zeros, params, env.random
+                    )
+                    state.b = outcome.bit
+                    if outcome.decided:
+                        state.decided = True
+            else:
+                yield from idle_rounds(env, spread_rounds)
+
+            # ---- The poll round: READY broadcast + majority exit. --------
+            if state.decided:
+                env.broadcast((TAG_READY,))
+            inbox = yield
+            # Count distinct READY senders; the sender itself counts too.
+            ready = _ready_count(inbox) + (1 if state.decided else 0)
+            if 2 * ready > n:
+                self.exited_epoch = epoch
+                self._ready_seen = ready
+                break
+
+        early_exit = self.exited_epoch is not None
+        if self.exited_epoch is None:
+            self.exited_epoch = self.num_epochs
+        state.epoch = self.num_epochs
+
+        # ---- Dissemination round (lines 14-16). ---------------------------
+        if state.operative and state.decided:
+            env.broadcast((TAG_DECISION, state.b))
+        inbox = yield
+        received = _decision_from(inbox)
+        if received is not None and not (state.operative and state.decided):
+            state.b = received
+        if state.decided or (not state.operative and received is not None):
+            env.decide(state.b)
+            # Straggler safety net: selective READY delivery at faulty
+            # senders can leave a non-faulty process behind in the epoch
+            # loop.  Unless the poll proved n - t processes ready (then
+            # every non-faulty process exited this same epoch), linger
+            # silently and re-broadcast the decision exactly when the
+            # full-budget schedule reaches its own dissemination round, so
+            # any straggler's line-15 / wait-loop inbox catches it.
+            ready_seen = getattr(self, "_ready_seen", 0)
+            if early_exit and ready_seen < n - self.t:
+                per_epoch = self.epoch_rounds()
+                consumed = (self.exited_epoch + 1) * per_epoch + 1
+                full_dissemination = self.num_epochs * per_epoch
+                lag = full_dissemination - consumed
+                if lag >= 0:
+                    yield from idle_rounds(env, lag)
+                    env.broadcast((TAG_DECISION, state.b))
+            return None
+
+        # ---- Fallback (lines 17-20), as in the base protocol. -------------
+        self.used_fallback = True
+        if state.operative:
+            decision = yield from dolev_strong_consensus(
+                env, self.t, state.b, participating=True
+            )
+            state.b = decision
+            env.broadcast((TAG_DECISION, decision))
+            env.decide(decision)
+            return None
+        for _ in range(self.t + 3 + self.num_epochs * self.epoch_rounds()):
+            inbox = yield
+            received = _decision_from(inbox)
+            if received is not None:
+                state.b = received
+                env.decide(received)
+                return None
+        return None
+
+
+def run_early_stopping_consensus(
+    inputs: Sequence[int],
+    t: int | None = None,
+    adversary: Adversary | None = None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    graph_seed: int = 0,
+    num_epochs: int | None = None,
+    max_rounds: int = 200_000,
+) -> ConsensusRun:
+    """Run the early-stopping variant end to end (API of
+    :func:`repro.core.run_consensus`)."""
+    n = len(inputs)
+    params = params if params is not None else ProtocolParams.practical()
+    t = t if t is not None else params.max_faults(n)
+    processes = [
+        EarlyStoppingConsensus(
+            pid,
+            n,
+            inputs[pid],
+            t=t,
+            params=params,
+            graph_seed=graph_seed,
+            num_epochs=num_epochs,
+        )
+        for pid in range(n)
+    ]
+    network = SyncNetwork(
+        processes, adversary=adversary, t=t, seed=seed, max_rounds=max_rounds
+    )
+    result = network.run()
+    return ConsensusRun(result=result, processes=list(processes))

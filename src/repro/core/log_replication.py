@@ -1,0 +1,162 @@
+"""Repeated consensus: an agreed-upon log (the ledger/SMR building block).
+
+The paper's introduction motivates consensus through distributed ledgers
+and replicated databases; operationally those run *one consensus instance
+per log slot*.  :class:`ConsensusLog` packages that loop as a library
+feature:
+
+* each slot takes one proposal per replica (bits by default, or
+  ``value_bits``-wide integers via the multi-valued reduction);
+* a fresh adversary can be injected per slot (faults are per-slot in this
+  abstraction: a replica silenced in slot 3 may be fine in slot 4, which
+  models per-instance corruption budgets);
+* the log records, per slot, the decided value, the per-slot faulty set,
+  and the cost (rounds/bits/randomness), and exposes the consistency
+  invariant: every replica that was non-faulty in slot i holds the same
+  entry i.
+
+This is deliberately a *driver* above the consensus API, not a new
+protocol: each slot is exactly one `run_consensus` /
+`run_multivalued_consensus` execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..params import ProtocolParams
+from ..runtime import Adversary
+from .consensus import run_consensus
+from .multivalued import run_multivalued_consensus
+
+#: Per-slot adversary factory: (slot, n, t) -> Adversary or None.
+SlotAdversaryFactory = Callable[[int, int, int], Adversary | None]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed slot."""
+
+    slot: int
+    value: int
+    rounds: int
+    bits: int
+    random_bits: int
+    faulty: frozenset[int]
+
+
+@dataclass
+class ConsensusLog:
+    """An agreed log over n replicas tolerating t omission faults per slot.
+
+    Usage::
+
+        log = ConsensusLog(n=48, t=1)
+        entry = log.append([replica_proposal(pid) for pid in range(48)])
+        log.replica_view(7)     # the entries replica 7 is guaranteed
+        log.check_consistency() # raises on divergence (it cannot happen)
+    """
+
+    n: int
+    t: int | None = None
+    params: ProtocolParams | None = None
+    #: Bits per value; 1 = binary consensus, >1 = multi-valued reduction.
+    value_bits: int = 1
+    adversary_factory: SlotAdversaryFactory | None = None
+    seed: int = 0
+    entries: list[LogEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.params = (
+            self.params if self.params is not None else ProtocolParams.practical()
+        )
+        self.t = self.t if self.t is not None else self.params.max_faults(self.n)
+        if self.value_bits < 1:
+            raise ValueError(f"value_bits must be >= 1, got {self.value_bits}")
+
+    # ------------------------------------------------------------------
+    def append(self, proposals: Sequence[int]) -> LogEntry:
+        """Run one consensus slot over the replicas' proposals."""
+        if len(proposals) != self.n:
+            raise ValueError(
+                f"need {self.n} proposals, got {len(proposals)}"
+            )
+        slot = len(self.entries)
+        adversary = (
+            self.adversary_factory(slot, self.n, self.t)
+            if self.adversary_factory is not None
+            else None
+        )
+        slot_seed = self.seed * 7919 + slot
+        if self.value_bits == 1:
+            run = run_consensus(
+                proposals,
+                t=self.t,
+                adversary=adversary,
+                params=self.params,
+                seed=slot_seed,
+            )
+            decision = run.decision
+            result = run.result
+        else:
+            result, _ = run_multivalued_consensus(
+                proposals,
+                value_bits=self.value_bits,
+                t=self.t,
+                adversary=adversary,
+                params=self.params,
+                seed=slot_seed,
+            )
+            decision = result.agreement_value()
+        entry = LogEntry(
+            slot=slot,
+            value=decision,
+            rounds=result.time_to_agreement(),
+            bits=result.metrics.bits_sent,
+            random_bits=result.metrics.random_bits,
+            faulty=result.faulty,
+        )
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def replica_view(self, pid: int) -> list[int | None]:
+        """The log as replica ``pid`` is guaranteed to hold it.
+
+        Slots where the replica was faulty are ``None`` (the model makes no
+        promise to faulty processes); all other slots carry the agreed
+        value.
+        """
+        if not 0 <= pid < self.n:
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        return [
+            None if pid in entry.faulty else entry.value
+            for entry in self.entries
+        ]
+
+    def check_consistency(self) -> None:
+        """Assert the ledger invariant: all non-faulty views agree slotwise.
+
+        Structurally guaranteed (each slot's value comes from one agreement
+        call), so this is a tripwire for misuse, not an expected failure.
+        """
+        for entry in self.entries:
+            views = {
+                self.replica_view(pid)[entry.slot]
+                for pid in range(self.n)
+                if pid not in entry.faulty
+            }
+            if len(views) != 1:
+                raise AssertionError(
+                    f"slot {entry.slot}: divergent views {views}"
+                )
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate cost of the whole log."""
+        return {
+            "slots": len(self.entries),
+            "rounds": sum(entry.rounds for entry in self.entries),
+            "bits": sum(entry.bits for entry in self.entries),
+            "random_bits": sum(entry.random_bits for entry in self.entries),
+        }

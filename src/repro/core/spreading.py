@@ -1,0 +1,118 @@
+"""``GroupBitsSpreading`` (Algorithm 3): inter-group count dissemination.
+
+After aggregation, each group holds a pair (operative ones, operative zeros).
+Operative processes gossip these ``ceil(sqrt n)`` pairs along the
+predetermined sparse spreading graph for ``Theta(log n)`` rounds, sending
+each group's pair at most once per link.  A process that hears from fewer
+than ``Delta/3`` of its (not yet disregarded) neighbours in a round becomes
+inoperative and stays idle for the rest of the execution; links observed
+silent are disregarded forever (Lemma 5 relies on this downward
+monotonicity).
+
+Heartbeats: a round with nothing new still sends an empty pack, because
+neighbour liveness is judged by "did it deliver a message this round".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runtime import ProcessEnv, Program
+
+TAG_PACK = 4
+
+
+@dataclass
+class SpreadingState:
+    """Per-process state persisting across epochs.
+
+    ``disregarded`` implements the "never use this link again" rule;
+    ``sent`` tracks, per neighbour, which group slots were already pushed on
+    that link (each slot crosses each link at most once per epoch run).
+    """
+
+    neighbors: tuple[int, ...]
+    disregarded: set[int] = field(default_factory=set)
+
+    def live_neighbors(self) -> list[int]:
+        return [v for v in self.neighbors if v not in self.disregarded]
+
+
+@dataclass
+class SpreadingResult:
+    """Output of one ``GroupBitsSpreading`` run for one process."""
+
+    ones: int
+    zeros: int
+    operative: bool
+    packs: list[tuple[int, int] | None]
+
+
+def group_bits_spreading(
+    env: ProcessEnv,
+    state: SpreadingState,
+    group_count: int,
+    my_group: int,
+    my_counts: tuple[int, int],
+    rounds: int,
+    degree_threshold: int,
+) -> Program:
+    """Run Algorithm 3 for an *operative* process; returns
+    :class:`SpreadingResult`.
+
+    Consumes exactly ``rounds`` rounds.  ``my_counts`` is this process's
+    group-aggregation output ``(ones, zeros)``.
+    """
+    packs: list[tuple[int, int] | None] = [None] * group_count
+    packs[my_group] = my_counts
+    # Per-link queues of slots not yet exchanged on that link (tracking the
+    # queue beats rescanning all sqrt(n) slots per link per round).
+    pending: dict[int, set[int]] = {v: {my_group} for v in state.neighbors}
+    operative = True
+    empty_pack = (TAG_PACK, ())
+
+    for round_index in range(rounds):
+        if operative:
+            for neighbor in state.live_neighbors():
+                queue = pending[neighbor]
+                if queue:
+                    fresh = tuple(
+                        (slot, packs[slot][0], packs[slot][1])
+                        for slot in sorted(queue)
+                    )
+                    queue.clear()
+                    env.send(neighbor, (TAG_PACK, fresh))
+                else:
+                    # Heartbeat: liveness is judged per round.
+                    env.send(neighbor, empty_pack)
+            inbox = yield
+            heard: set[int] = set()
+            for message in inbox:
+                sender = message.sender
+                if sender in state.disregarded or sender not in pending:
+                    continue
+                payload = message.payload
+                if not (
+                    isinstance(payload, tuple)
+                    and payload
+                    and payload[0] == TAG_PACK
+                ):
+                    continue
+                heard.add(sender)
+                for slot, ones, zeros in payload[1]:
+                    if packs[slot] is None:
+                        packs[slot] = (ones, zeros)
+                        for queue in pending.values():
+                            queue.add(slot)
+                    # Known on this link already: no need to echo it back.
+                    pending[sender].discard(slot)
+            silent = set(state.live_neighbors()) - heard
+            state.disregarded |= silent
+            if len(heard) < degree_threshold:
+                operative = False
+        else:
+            yield
+
+    ones = sum(entry[0] for entry in packs if entry is not None)
+    zeros = sum(entry[1] for entry in packs if entry is not None)
+    return SpreadingResult(ones=ones, zeros=zeros, operative=operative, packs=packs)

@@ -1,0 +1,364 @@
+"""``ParamOmissions`` — Algorithm 4 / Theorems 3 and 8 (time ↔ randomness).
+
+The trade-off algorithm: split ``P`` into ``x`` super-processes of size
+``ceil(n/x)``; in round-robin phases each super-process runs the *truncated*
+``OptimalOmissionsConsensus`` (lines 5-16 only — the sub-protocol
+:func:`repro.core.consensus.optimal_epochs_and_dissemination`) on its own
+members, then floods the phase's outcome (if any) along the global spreading
+graph for ``2 log n`` rounds.  Every subsequent phase uses the propagated
+value as its input bit.  A final 2-round safety rule (lines 15-23) counts
+bits among operative processes; near-unanimous counts decide, anything else
+drops to the deterministic fallback (lines 24-30), giving correctness with
+probability 1.
+
+Randomness accounting (Theorem 8): each phase's sub-run spends
+``~ (n/x)^{3/2}`` random bits, so x phases spend ``~ n^2 / sqrt(nx)`` while
+time grows to ``~ sqrt(nx)`` — the ``T x R ≈ n^2`` trade-off curve the
+benchmarks sweep.
+
+Once a process turns inoperative it idles until the final decision
+broadcasts (pseudocode line 10: "stay idle until line 25") — in particular a
+stale candidate bit can never re-enter a later phase, which is what keeps
+one value in the system after the first reliable super-process's phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..baselines.dolev_strong import dolev_strong_consensus
+from ..params import ProtocolParams, log2ceil
+from ..runtime import (
+    Adversary,
+    Message,
+    ProcessEnv,
+    Program,
+    SyncNetwork,
+    SyncProcess,
+    idle_rounds,
+)
+from .consensus import (
+    ConsensusRun,
+    CoreState,
+    TAG_DECISION,
+    core_total_rounds,
+    optimal_epochs_and_dissemination,
+    shared_spreading_graph,
+)
+from .spreading import SpreadingState
+
+TAG_FLOOD = 11
+TAG_SAFETY = 12
+
+
+def super_partition(n: int, x: int) -> tuple[tuple[int, ...], ...]:
+    """Split ``range(n)`` into x contiguous super-processes of size
+    ``ceil(n/x)`` (the last may be smaller)."""
+    if not 1 <= x <= n:
+        raise ValueError(f"need 1 <= x <= n, got x={x}, n={n}")
+    size = math.ceil(n / x)
+    groups = []
+    start = 0
+    while start < n:
+        groups.append(tuple(range(start, min(n, start + size))))
+        start += size
+    return tuple(groups)
+
+
+def flood_rounds(n: int, params: ProtocolParams) -> int:
+    """Rounds of per-phase decision flooding (paper: ``2 log n``)."""
+    return max(3, 2 * log2ceil(max(2, n)))
+
+
+def _flood_decision(
+    env: ProcessEnv,
+    state: SpreadingState,
+    value: int | None,
+    rounds: int,
+    degree_threshold: int,
+) -> Program:
+    """Flood a phase's consensus value along the global graph.
+
+    Operative processes send their current value (possibly none) to all
+    not-yet-disregarded neighbours each round, adopt the first value they
+    hear, disregard silent links forever, and go inoperative below the
+    ``Delta/3`` per-round threshold.  Returns ``(value, operative)``.
+    """
+    operative = True
+    for _ in range(rounds):
+        if operative:
+            env.send_many(state.live_neighbors(), (TAG_FLOOD, value))
+            inbox = yield
+            heard: set[int] = set()
+            for message in inbox:
+                sender = message.sender
+                if sender in state.disregarded:
+                    continue
+                payload = message.payload
+                if not (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == TAG_FLOOD
+                ):
+                    continue
+                heard.add(sender)
+                if value is None and payload[1] is not None:
+                    value = payload[1]
+            silent = set(state.live_neighbors()) - heard
+            state.disregarded |= silent
+            if len(heard) < degree_threshold:
+                operative = False
+        else:
+            yield
+    return value, operative
+
+
+def _safety_counts(inbox: list[Message]) -> tuple[int, int]:
+    """Count (ones, zeros) among received line-17 safety broadcasts."""
+    ones = zeros = 0
+    for message in inbox:
+        payload = message.payload
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == TAG_SAFETY
+        ):
+            if payload[1] == 1:
+                ones += 1
+            else:
+                zeros += 1
+    return ones, zeros
+
+
+class ParamOmissions(SyncProcess):
+    """One process of Algorithm 4, parameterized by the super-process count.
+
+    Public attributes visible to the adversary: ``b``, ``operative``,
+    ``decided``, ``phase`` (current round-robin phase, = x when finished).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_bit: int,
+        x: int,
+        t: int | None = None,
+        params: ProtocolParams | None = None,
+        graph_seed: int = 0,
+    ) -> None:
+        super().__init__(pid, n)
+        if input_bit not in (0, 1):
+            raise ValueError(f"input bit must be 0 or 1, got {input_bit!r}")
+        self.params = params if params is not None else ProtocolParams.practical()
+        # Theorem 8 halves Algorithm 1's fault tolerance (t < n/60).
+        self.t = (
+            t if t is not None else max(0, (n - 1) // (2 * (self.params.fault_fraction_denominator + 1)))
+        )
+        self.input_bit = input_bit
+        self.x = x
+        self.b = input_bit
+        self.operative = True
+        self.decided = False
+        self.phase = -1
+        self.graph_seed = graph_seed
+        self.supers = super_partition(n, x)
+        self.used_fallback = False
+
+    def program(self, env: ProcessEnv) -> Program:
+        n, params = self.n, self.params
+        graph = shared_spreading_graph(n, params.delta(n), self.graph_seed)
+        flood_state = SpreadingState(
+            neighbors=tuple(sorted(graph.neighbors(self.pid)))
+        )
+        degree_threshold = params.operative_degree_threshold(n)
+        flooding = flood_rounds(n, params)
+
+        # ---- Round-robin phases (lines 4-14). ----------------------------
+        for phase, members in enumerate(self.supers):
+            self.phase = phase
+            sub_rounds = core_total_rounds(len(members), params)
+            if self.pid in members and self.operative:
+                sub_state = CoreState(b=self.b)
+                decision = yield from optimal_epochs_and_dissemination(
+                    env,
+                    members,
+                    params,
+                    sub_state,
+                    graph_seed=self.graph_seed + 1 + phase,
+                )
+            else:
+                # Other super-processes (and inoperative members) stay idle
+                # for the sub-run's fixed length (line 6 / line 10).
+                yield from idle_rounds(env, sub_rounds)
+                decision = None
+
+            # Lines 7-8: members carry the sub-run outcome, others bottom.
+            consensus_decision = decision
+
+            # Lines 9-12: flooding along the global graph.
+            if self.operative:
+                consensus_decision, operative = yield from _flood_decision(
+                    env, flood_state, consensus_decision, flooding,
+                    degree_threshold,
+                )
+                self.operative = operative
+            else:
+                yield from idle_rounds(env, flooding)
+
+            # Line 13: the propagated value becomes the next input bit.
+            if self.operative and consensus_decision is not None:
+                self.b = consensus_decision
+
+        self.phase = self.x
+
+        # ---- Safety rule (lines 15-23): one exchange among operative. ----
+        if self.operative:
+            env.broadcast((TAG_SAFETY, self.b))
+        inbox = yield
+        if self.operative:
+            ones, zeros = _safety_counts(inbox)
+            ones += self.b
+            zeros += 1 - self.b
+            total = ones + zeros
+            if params.adopt_one(ones, total):
+                self.b = 1
+            elif params.adopt_zero(ones, total):
+                self.b = 0
+            if params.ready_to_decide(ones, total):
+                self.decided = True
+
+        # ---- Lines 24-26: decision broadcast, mirror of Algorithm 1. -----
+        if self.operative and self.decided:
+            env.broadcast((TAG_DECISION, self.b))
+        inbox = yield
+        received = None
+        for message in inbox:
+            payload = message.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == TAG_DECISION
+            ):
+                received = payload[1]
+                break
+        if received is not None and not (self.operative and self.decided):
+            self.b = received
+        if self.decided or (not self.operative and received is not None):
+            env.decide(self.b)
+            return None
+
+        # ---- Lines 27-30: deterministic fallback. -------------------------
+        self.used_fallback = True
+        if self.operative:
+            decision = yield from dolev_strong_consensus(
+                env, self.t, self.b, participating=True
+            )
+            self.b = decision
+            env.broadcast((TAG_DECISION, decision))
+            env.decide(decision)
+            return None
+        for _ in range(self.t + 3):
+            inbox = yield
+            for message in inbox:
+                payload = message.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == TAG_DECISION
+                ):
+                    self.b = payload[1]
+                    env.decide(self.b)
+                    return None
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParamOmissions(pid={self.pid}, x={self.x}, b={self.b}, "
+            f"operative={self.operative}, phase={self.phase})"
+        )
+
+
+def run_tradeoff_consensus(
+    inputs: Sequence[int],
+    x: int,
+    t: int | None = None,
+    adversary: Adversary | None = None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    graph_seed: int = 0,
+    max_rounds: int = 500_000,
+) -> ConsensusRun:
+    """Run Algorithm 4 end-to-end with ``x`` super-processes.
+
+    ``x = 1`` degenerates to a single Algorithm-1 run plus the safety rule;
+    ``x = n`` is the randomness-free extreme (singleton phases use no coins),
+    paying ~n rounds of round-robin time — the two ends of the Theorem-3
+    interpolation.
+    """
+    n = len(inputs)
+    params = params if params is not None else ProtocolParams.practical()
+    processes = [
+        ParamOmissions(
+            pid,
+            n,
+            inputs[pid],
+            x=x,
+            t=t,
+            params=params,
+            graph_seed=graph_seed,
+        )
+        for pid in range(n)
+    ]
+    budget = processes[0].t
+    network = SyncNetwork(
+        processes,
+        adversary=adversary,
+        t=budget,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    result = network.run()
+    return ConsensusRun(result=result, processes=list(processes))
+
+
+@dataclass
+class TradeoffPoint:
+    """One sweep point of the Theorem-3 trade-off curve."""
+
+    x: int
+    rounds: int
+    random_bits: int
+    random_calls: int
+    bits_sent: int
+    decision: Any
+
+
+def sweep_tradeoff(
+    inputs: Sequence[int],
+    xs: Sequence[int],
+    adversary_factory=None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+) -> list[TradeoffPoint]:
+    """Run Algorithm 4 for each x and collect the (T, R) trade-off points."""
+    points = []
+    for x in xs:
+        adversary = adversary_factory() if adversary_factory is not None else None
+        run = run_tradeoff_consensus(
+            inputs, x, adversary=adversary, params=params, seed=seed
+        )
+        metrics = run.metrics
+        points.append(
+            TradeoffPoint(
+                x=x,
+                rounds=metrics.rounds,
+                random_bits=metrics.random_bits,
+                random_calls=metrics.random_calls,
+                bits_sent=metrics.bits_sent,
+                decision=run.decision,
+            )
+        )
+    return points

@@ -1,0 +1,62 @@
+"""Biased-majority-voting epoch rule (Algorithm 1 lines 9-12, Figure 3).
+
+Given the epoch's operative counts ``(ones, zeros)``, a process updates its
+candidate bit:
+
+* ``ones >  18/30 (ones + zeros)``  -> adopt 1;
+* ``ones <  15/30 (ones + zeros)``  -> adopt 0;
+* otherwise                          -> a fresh uniform random bit
+  (the only randomness the whole algorithm uses: at most one bit per process
+  per epoch);
+
+and applies the safety rule: at ``> 27/30`` or ``< 3/30`` it marks itself
+ready to decide.  The 18/30-vs-15/30 gap equals the maximal inoperative
+fraction, which is what forbids two operative processes from
+deterministically adopting opposite bits in the same epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import ProtocolParams
+from ..runtime import CountingRandom
+
+
+@dataclass(frozen=True)
+class VoteOutcome:
+    """Result of applying the epoch rule."""
+
+    bit: int
+    decided: bool
+    used_coin: bool
+
+
+def apply_vote_rule(
+    ones: int,
+    zeros: int,
+    params: ProtocolParams,
+    coin: CountingRandom,
+) -> VoteOutcome:
+    """Apply lines 9-12 of Algorithm 1 to one epoch's counts.
+
+    ``coin`` is the process's metered random source; it is touched only in
+    the middle band, so the randomness accounting matches the paper's "one
+    bit per process per epoch" bound.
+    """
+    total = ones + zeros
+    if total == 0:
+        # The process heard of no operative value at all; keep voting with a
+        # coin so a transient blackout cannot freeze its candidate forever.
+        return VoteOutcome(bit=coin.bit(), decided=False, used_coin=True)
+    if params.adopt_one(ones, total):
+        bit = 1
+        used_coin = False
+    elif params.adopt_zero(ones, total):
+        bit = 0
+        used_coin = False
+    else:
+        bit = coin.bit()
+        used_coin = True
+    decided = params.ready_to_decide(ones, total)
+    return VoteOutcome(bit=bit, decided=decided, used_coin=used_coin)

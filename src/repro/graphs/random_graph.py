@@ -1,0 +1,84 @@
+"""Construction of the predetermined spreading graph (Theorem 4).
+
+The paper has every process locally pre-compute the *same* sparse random
+graph ``R(n, Delta/(n-1))`` (e.g. the lexicographically smallest one with the
+Theorem-4 properties); no communication or protocol randomness is spent on
+it.  We reproduce that by deriving the graph deterministically from
+``(n, delta, seed)`` with a private PRNG stream, so all processes — and all
+reruns — agree on it for free.
+
+Generation uses the standard geometric-skip sampler for ``G(n, p)`` so that
+building graphs at n in the thousands stays fast.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..runtime.randomness import stable_seed
+
+from .graph import SpreadingGraph
+
+
+def gnp_edges(
+    n: int, p: float, rng: random.Random
+) -> list[tuple[int, int]]:
+    """Sample the edge set of ``G(n, p)`` via geometric jumps.
+
+    Iterates the ``n*(n-1)/2`` potential edges in lexicographic order,
+    skipping ahead by geometrically distributed gaps — O(#edges) time.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    edges: list[tuple[int, int]] = []
+    if n < 2 or p == 0.0:
+        return edges
+    if p == 1.0:
+        return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+    log_q = math.log1p(-p)
+    total_pairs = n * (n - 1) // 2
+    index = -1
+    while True:
+        gap = int(math.log(1.0 - rng.random()) / log_q) + 1
+        index += gap
+        if index >= total_pairs:
+            break
+        # Invert the pair index to (u, v) with u < v.
+        u = int((2 * n - 1 - math.sqrt((2 * n - 1) ** 2 - 8 * index)) / 2)
+        # Guard against floating point off-by-ones near row boundaries.
+        while index >= (u + 1) * n - (u + 1) * (u + 2) // 2:
+            u += 1
+        while u > 0 and index < u * n - u * (u + 1) // 2:
+            u -= 1
+        row_start = u * n - u * (u + 1) // 2
+        v = u + 1 + (index - row_start)
+        edges.append((u, v))
+    return edges
+
+
+def spreading_graph(n: int, delta: int, seed: int = 0) -> SpreadingGraph:
+    """Build the predetermined spreading graph for an n-process system.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (processes).
+    delta:
+        Target expected degree ``Delta``; the edge probability is
+        ``delta / (n - 1)`` capped at 1 (a complete graph), matching
+        Theorem 4's ``R(n, Delta/(n-1))``.
+    seed:
+        Determinism handle; the same ``(n, delta, seed)`` always yields the
+        same graph.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if n == 1 or delta == 0:
+        return SpreadingGraph(n, [])
+    p = min(1.0, delta / (n - 1))
+    rng = random.Random(stable_seed("spreading-graph", n, delta, seed))
+    return SpreadingGraph(n, gnp_edges(n, p, rng))

@@ -1,0 +1,114 @@
+"""Lower-bound machinery (Section 4 / Appendix C).
+
+* :mod:`~repro.lowerbound.coin_game` — the one-round coin-flipping game and
+  the Lemma-12 hide-budget measurements;
+* :mod:`~repro.lowerbound.talagrand` — exact numeric verification of
+  Talagrand's inequality (Theorem 6) on threshold sets;
+* :mod:`~repro.lowerbound.valency` — exhaustive valency classification of
+  toy protocols under adaptive crash schedules (Lemma 13);
+* :mod:`~repro.lowerbound.tradeoff_attack` — the constructive
+  ``T x (R + T)`` experiment against randomness-throttled voting
+  (Theorem 2's empirical shape).
+"""
+
+from .anticoncentration import (
+    Lemma9Check,
+    adversary_cost_to_cancel,
+    deviation_probability,
+    lemma9_lower_bound,
+    verify_lemma9,
+)
+from .coin_game import (
+    CoinGamePoint,
+    corollary1_budget,
+    ThresholdCoinGame,
+    bias_success_probability,
+    lemma12_budget,
+    minimal_budget_for_success,
+    sweep_lemma12,
+)
+from .talagrand import (
+    TalagrandCheck,
+    binomial_tail_geq,
+    binomial_tail_lt,
+    check_threshold_point,
+    verify_threshold_inequality,
+)
+from .rollout_adversary import (
+    KeepSilencingFaulty,
+    RolloutConfig,
+    RolloutValencyAdversary,
+    ScriptedAdversary,
+)
+from .tradeoff_attack import (
+    AttackPoint,
+    BalancingCrashAdversary,
+    measure_tradeoff_product,
+)
+from .prob_valency import (
+    BIVALENT,
+    NULL_VALENT,
+    ONE_VALENT,
+    ZERO_VALENT,
+    CoinVotingProtocol,
+    ProbabilisticValency,
+    RandomizedToyProtocol,
+    classify_state,
+    lemma13_probabilistic_witness,
+    probability_band,
+)
+from .valency import (
+    DISAGREEMENT,
+    STUCK,
+    FloodMinProtocol,
+    MajorityRoundsProtocol,
+    ToyProtocol,
+    ValencyReport,
+    classify_all_inputs,
+    reachable_outcomes,
+)
+
+__all__ = [
+    "Lemma9Check",
+    "adversary_cost_to_cancel",
+    "deviation_probability",
+    "lemma9_lower_bound",
+    "verify_lemma9",
+    "CoinGamePoint",
+    "corollary1_budget",
+    "ThresholdCoinGame",
+    "bias_success_probability",
+    "lemma12_budget",
+    "minimal_budget_for_success",
+    "sweep_lemma12",
+    "TalagrandCheck",
+    "binomial_tail_geq",
+    "binomial_tail_lt",
+    "check_threshold_point",
+    "verify_threshold_inequality",
+    "KeepSilencingFaulty",
+    "RolloutConfig",
+    "RolloutValencyAdversary",
+    "ScriptedAdversary",
+    "AttackPoint",
+    "BalancingCrashAdversary",
+    "measure_tradeoff_product",
+    "DISAGREEMENT",
+    "STUCK",
+    "FloodMinProtocol",
+    "MajorityRoundsProtocol",
+    "ToyProtocol",
+    "ValencyReport",
+    "classify_all_inputs",
+    "reachable_outcomes",
+    "BIVALENT",
+    "NULL_VALENT",
+    "ONE_VALENT",
+    "ZERO_VALENT",
+    "CoinVotingProtocol",
+    "ProbabilisticValency",
+    "RandomizedToyProtocol",
+    "classify_state",
+    "lemma13_probabilistic_witness",
+    "probability_band",
+]

@@ -1,0 +1,276 @@
+"""Exact probabilistic valency for small *randomized* toy protocols.
+
+The lower-bound proof classifies states by ``Pr(H, A)`` — the probability
+of reaching consensus on 1 when continuing history ``H`` under adversary
+strategy ``A`` (Appendix C).  For tiny randomized protocols this quantity
+is exactly computable: a minimax/expectimax recursion where
+
+* *chance nodes* are the local-computation coins (the adversary cannot see
+  a coin before it is flipped, but acts after — Section 2's ordering);
+* *adversary nodes* pick the crash action (with crash-round delivery
+  subsets, as in :mod:`repro.lowerbound.valency`) after observing the
+  round's coins — the full-information adaptivity the paper grants.
+
+:func:`probability_band` returns ``(inf_A Pr, sup_A Pr)``; states are then
+classified into the paper's four types relative to a slack ``epsilon``:
+
+* null-valent:  ``eps <= inf`` and ``sup <= 1 - eps``;
+* 1-valent:     ``sup > 1 - eps`` and ``inf >= eps``;
+* 0-valent:     ``inf < eps`` and ``sup <= 1 - eps``;
+* bivalent:     ``sup > 1 - eps`` and ``inf < eps``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable
+
+NULL_VALENT = "null-valent"
+ONE_VALENT = "1-valent"
+ZERO_VALENT = "0-valent"
+BIVALENT = "bivalent"
+
+
+class RandomizedToyProtocol(ABC):
+    """A synchronous broadcast protocol whose processes may flip coins.
+
+    Per round, in the paper's phase order: each alive process first applies
+    its (optional) coin to its state, then broadcasts, then transitions on
+    the received values.
+    """
+
+    def __init__(self, n: int, max_rounds: int) -> None:
+        if n < 1 or max_rounds < 1:
+            raise ValueError("need n >= 1 and max_rounds >= 1")
+        self.n = n
+        self.max_rounds = max_rounds
+
+    @abstractmethod
+    def initial_state(self, pid: int, input_bit: int) -> Hashable: ...
+
+    @abstractmethod
+    def wants_coin(self, state: Hashable, round_no: int) -> bool:
+        """Whether this process calls its random source this round."""
+
+    @abstractmethod
+    def apply_coin(
+        self, state: Hashable, round_no: int, bit: int
+    ) -> Hashable: ...
+
+    @abstractmethod
+    def outgoing(self, state: Hashable, round_no: int) -> Hashable: ...
+
+    @abstractmethod
+    def transition(
+        self,
+        state: Hashable,
+        round_no: int,
+        inbox: tuple[tuple[int, Hashable], ...],
+    ) -> Hashable: ...
+
+    @abstractmethod
+    def decision(self, state: Hashable) -> int: ...
+
+
+class CoinVotingProtocol(RandomizedToyProtocol):
+    """Minimal randomized consensus attempt: follow unanimity, else flip.
+
+    Each process holds a bit; rounds broadcast bits; a process seeing
+    unanimity adopts it deterministically, otherwise it re-flips its bit.
+    At the horizon it decides its bit.  The protocol is correct only when
+    the adversary is too poor to keep breaking unanimity — exactly the
+    dynamic the Theorem-2 analysis amortizes.
+    """
+
+    def initial_state(self, pid: int, input_bit: int) -> tuple[int, bool]:
+        return (input_bit, False)  # (bit, currently-mixed?)
+
+    def wants_coin(self, state: tuple[int, bool], round_no: int) -> bool:
+        return state[1]
+
+    def apply_coin(
+        self, state: tuple[int, bool], round_no: int, bit: int
+    ) -> tuple[int, bool]:
+        return (bit, False)
+
+    def outgoing(self, state: tuple[int, bool], round_no: int) -> int:
+        return state[0]
+
+    def transition(
+        self,
+        state: tuple[int, bool],
+        round_no: int,
+        inbox: tuple[tuple[int, int], ...],
+    ) -> tuple[int, bool]:
+        values = {state[0]} | {value for _, value in inbox}
+        if len(values) == 1:
+            return (state[0], False)
+        return (state[0], True)  # mixed view: flip next round
+
+    def decision(self, state: tuple[int, bool]) -> int:
+        return state[0]
+
+
+def probability_band(
+    protocol: RandomizedToyProtocol,
+    inputs: tuple[int, ...],
+    t: int,
+) -> tuple[float, float]:
+    """Exact ``(inf_A Pr[consensus on 1], sup_A Pr[consensus on 1])``.
+
+    "Consensus on 1" means every never-crashed process decides 1 at the
+    horizon; disagreement and consensus-on-0 both count as 0 toward the
+    probability, matching the paper's ``Pr(H, A)``.
+    """
+    n = protocol.n
+    if len(inputs) != n:
+        raise ValueError(f"need {n} inputs, got {len(inputs)}")
+    initial = tuple(
+        protocol.initial_state(pid, inputs[pid]) for pid in range(n)
+    )
+    cache: dict[tuple, float] = {}
+
+    def adversary_choices(alive: frozenset[int], budget: int):
+        """All (crashed, delivery) actions available this round."""
+        alive_sorted = sorted(alive)
+        for crash_count in range(0, budget + 1):
+            for crashed in itertools.combinations(alive_sorted, crash_count):
+                receiver_options = []
+                for pid in crashed:
+                    receivers = [q for q in alive_sorted if q != pid]
+                    receiver_options.append(
+                        [
+                            frozenset(subset)
+                            for size in range(len(receivers) + 1)
+                            for subset in itertools.combinations(
+                                receivers, size
+                            )
+                        ]
+                    )
+                for delivery in itertools.product(*receiver_options):
+                    yield crashed, delivery
+
+    def evaluate(
+        round_no: int,
+        alive: frozenset[int],
+        states: tuple,
+        maximize: bool,
+    ) -> float:
+        if round_no == protocol.max_rounds:
+            decisions = {protocol.decision(states[pid]) for pid in alive}
+            return 1.0 if decisions == {1} else 0.0
+        key = (round_no, alive, states, maximize)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+        flippers = [
+            pid
+            for pid in sorted(alive)
+            if protocol.wants_coin(states[pid], round_no)
+        ]
+        total = 0.0
+        weight = 0.5 ** len(flippers)
+        for coins in itertools.product((0, 1), repeat=len(flippers)):
+            coined = list(states)
+            for pid, bit in zip(flippers, coins):
+                coined[pid] = protocol.apply_coin(coined[pid], round_no, bit)
+            broadcast = {
+                pid: protocol.outgoing(coined[pid], round_no)
+                for pid in sorted(alive)
+            }
+            best: float | None = None
+            budget = t - (n - len(alive))
+            for crashed, delivery in adversary_choices(alive, budget):
+                crashed_set = frozenset(crashed)
+                survivors = alive - crashed_set
+                new_states = list(coined)
+                for pid in sorted(survivors):
+                    inbox = []
+                    for sender in sorted(alive):
+                        if sender == pid:
+                            continue
+                        if sender in crashed_set:
+                            index = crashed.index(sender)
+                            if pid not in delivery[index]:
+                                continue
+                        inbox.append((sender, broadcast[sender]))
+                    new_states[pid] = protocol.transition(
+                        coined[pid], round_no, tuple(inbox)
+                    )
+                value = evaluate(
+                    round_no + 1, survivors, tuple(new_states), maximize
+                )
+                if best is None:
+                    best = value
+                elif maximize:
+                    best = max(best, value)
+                else:
+                    best = min(best, value)
+                # Bound short-circuiting.
+                if maximize and best == 1.0:
+                    break
+                if not maximize and best == 0.0:
+                    break
+            total += weight * (best if best is not None else 0.0)
+        cache[key] = total
+        return total
+
+    alive = frozenset(range(n))
+    return (
+        evaluate(0, alive, initial, maximize=False),
+        evaluate(0, alive, initial, maximize=True),
+    )
+
+
+@dataclass(frozen=True)
+class ProbabilisticValency:
+    """Classification of one initial state."""
+
+    inputs: tuple[int, ...]
+    inf_probability: float
+    sup_probability: float
+    classification: str
+
+
+def classify_state(
+    protocol: RandomizedToyProtocol,
+    inputs: tuple[int, ...],
+    t: int,
+    epsilon: float = 0.1,
+) -> ProbabilisticValency:
+    """Classify an initial state into the paper's four valency types."""
+    if not 0.0 < epsilon < 0.5:
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    inf_probability, sup_probability = probability_band(protocol, inputs, t)
+    high = sup_probability > 1 - epsilon
+    low = inf_probability < epsilon
+    if high and low:
+        classification = BIVALENT
+    elif high:
+        classification = ONE_VALENT
+    elif low:
+        classification = ZERO_VALENT
+    else:
+        classification = NULL_VALENT
+    return ProbabilisticValency(
+        inputs=tuple(inputs),
+        inf_probability=inf_probability,
+        sup_probability=sup_probability,
+        classification=classification,
+    )
+
+
+def lemma13_probabilistic_witness(
+    protocol: RandomizedToyProtocol,
+    t: int,
+    epsilon: float = 0.1,
+) -> ProbabilisticValency | None:
+    """An initial state that is null-valent or bivalent (Lemma 13)."""
+    for inputs in itertools.product((0, 1), repeat=protocol.n):
+        result = classify_state(protocol, inputs, t, epsilon)
+        if result.classification in (NULL_VALENT, BIVALENT):
+            return result
+    return None

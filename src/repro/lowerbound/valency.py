@@ -1,0 +1,268 @@
+"""Valency classification of toy protocols by exhaustive adversary search.
+
+The lower-bound proof (Appendix C) classifies algorithm states by *valency*:
+which outcomes an adversary can still steer the execution toward.  Its
+Lemma 13 shows every consensus algorithm has an initial state that is not
+uni-valent when the adversary controls one process.
+
+This module makes that machinery executable for small deterministic
+round-based protocols: an exhaustive game-tree search over all adaptive
+clean-crash schedules (crash = silent from that round on, the paper's remark
+that crashes are omissions' special case) computes the exact set of
+*reachable outcomes* from every initial input assignment:
+
+* ``{0}`` / ``{1}``  — uni-valent in the paper's sense;
+* ``{0, 1, ...}``    — bivalent (Lemma-13 witness);
+* containing :data:`DISAGREEMENT` or :data:`STUCK` — the protocol is simply
+  not a (terminating) consensus algorithm at this fault budget.
+
+Randomized protocols are out of scope here (their valency is defined through
+probabilities); the constructive randomized attack lives in
+:mod:`repro.lowerbound.tradeoff_attack`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+#: Outcome marker: some adversary schedule makes surviving processes decide
+#: different values (agreement violation).
+DISAGREEMENT = "DISAGREEMENT"
+#: Outcome marker: some schedule leaves a surviving process undecided at the
+#: protocol's round horizon (termination violation).
+STUCK = "STUCK"
+
+
+class ToyProtocol(ABC):
+    """A deterministic synchronous broadcast protocol on n processes.
+
+    Each round every alive process broadcasts one value (a function of its
+    state) and then transitions on the multiset of received values.  After
+    ``max_rounds`` rounds every process must expose a decision.
+    """
+
+    def __init__(self, n: int, max_rounds: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.n = n
+        self.max_rounds = max_rounds
+
+    @abstractmethod
+    def initial_state(self, pid: int, input_bit: int) -> Hashable:
+        """The pre-round-0 state of process ``pid``."""
+
+    @abstractmethod
+    def outgoing(self, state: Hashable, round_no: int) -> Hashable:
+        """The value broadcast by a process in this round."""
+
+    @abstractmethod
+    def transition(
+        self,
+        state: Hashable,
+        round_no: int,
+        inbox: tuple[tuple[int, Hashable], ...],
+    ) -> Hashable:
+        """New state after receiving ``(sender, value)`` pairs."""
+
+    @abstractmethod
+    def decision(self, state: Hashable) -> int | None:
+        """Decided value at the horizon (None = undecided)."""
+
+
+class FloodMinProtocol(ToyProtocol):
+    """Flooding min-consensus: state = min value seen; decide it at the end.
+
+    The classic crash-tolerant protocol: correct with ``max_rounds >= t + 1``
+    crash faults, and provably *incorrect* (reachable DISAGREEMENT) with
+    fewer rounds — both facts the exhaustive search verifies.
+    """
+
+    def initial_state(self, pid: int, input_bit: int) -> int:
+        return input_bit
+
+    def outgoing(self, state: int, round_no: int) -> int:
+        return state
+
+    def transition(
+        self,
+        state: int,
+        round_no: int,
+        inbox: tuple[tuple[int, int], ...],
+    ) -> int:
+        values = [value for _, value in inbox]
+        return min([state] + values)
+
+    def decision(self, state: int) -> int:
+        return state
+
+
+class MajorityRoundsProtocol(ToyProtocol):
+    """Repeated majority voting with ties toward 0; decide after the horizon.
+
+    Deliberately *not* a correct consensus protocol under crashes — used to
+    exercise the DISAGREEMENT detection.
+    """
+
+    def initial_state(self, pid: int, input_bit: int) -> int:
+        return input_bit
+
+    def outgoing(self, state: int, round_no: int) -> int:
+        return state
+
+    def transition(
+        self,
+        state: int,
+        round_no: int,
+        inbox: tuple[tuple[int, int], ...],
+    ) -> int:
+        ones = state + sum(value for _, value in inbox)
+        total = 1 + len(inbox)
+        return 1 if 2 * ones > total else 0
+
+    def decision(self, state: int) -> int:
+        return state
+
+
+@dataclass(frozen=True)
+class ValencyReport:
+    """Classification of every initial input assignment of a protocol."""
+
+    outcomes: Mapping[tuple[int, ...], frozenset]
+
+    def univalent(self, value: int) -> list[tuple[int, ...]]:
+        return [
+            inputs
+            for inputs, reachable in self.outcomes.items()
+            if reachable == frozenset({value})
+        ]
+
+    def bivalent(self) -> list[tuple[int, ...]]:
+        return [
+            inputs
+            for inputs, reachable in self.outcomes.items()
+            if {0, 1} <= set(reachable)
+        ]
+
+    def broken(self) -> list[tuple[int, ...]]:
+        return [
+            inputs
+            for inputs, reachable in self.outcomes.items()
+            if DISAGREEMENT in reachable or STUCK in reachable
+        ]
+
+    def lemma13_witness(self) -> tuple[int, ...] | None:
+        """An input assignment that is not uni-valent (Lemma 13)."""
+        for inputs, reachable in self.outcomes.items():
+            if len(reachable) > 1 or not reachable <= {0, 1}:
+                return inputs
+        return None
+
+
+def reachable_outcomes(
+    protocol: ToyProtocol, inputs: tuple[int, ...], t: int
+) -> frozenset:
+    """Exact set of outcomes reachable under adaptive clean-crash schedules.
+
+    DFS with memoization over (round, alive-set, state-vector); the adversary
+    may crash any subset of alive processes at each round within its
+    remaining budget.  Crashed processes deliver nothing from their crash
+    round on.
+    """
+    n = protocol.n
+    if len(inputs) != n:
+        raise ValueError(f"need {n} inputs, got {len(inputs)}")
+
+    initial_states = tuple(
+        protocol.initial_state(pid, inputs[pid]) for pid in range(n)
+    )
+    cache: dict[tuple, frozenset] = {}
+
+    def explore(
+        round_no: int, alive: frozenset[int], states: tuple
+    ) -> frozenset:
+        key = (round_no, alive, states)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+        if round_no == protocol.max_rounds:
+            decisions = {
+                protocol.decision(states[pid]) for pid in alive
+            }
+            if None in decisions:
+                result = frozenset({STUCK})
+            elif len(decisions) > 1:
+                result = frozenset({DISAGREEMENT})
+            else:
+                result = frozenset(decisions)
+            cache[key] = result
+            return result
+
+        budget = t - (n - len(alive))
+        outcomes: set = set()
+        alive_sorted = sorted(alive)
+        broadcast = {
+            pid: protocol.outgoing(states[pid], round_no)
+            for pid in alive_sorted
+        }
+
+        def deliveries_for(crashed: tuple[int, ...]):
+            """All ways the adversary can split each crashing process's
+            final-round broadcast (it may reach any recipient subset —
+            the crash-round flexibility the model grants)."""
+            option_sets = []
+            for pid in crashed:
+                receivers = [q for q in alive_sorted if q != pid]
+                option_sets.append(
+                    [
+                        frozenset(subset)
+                        for size in range(len(receivers) + 1)
+                        for subset in itertools.combinations(receivers, size)
+                    ]
+                )
+            return itertools.product(*option_sets)
+
+        for crash_count in range(0, budget + 1):
+            for crashed in itertools.combinations(alive_sorted, crash_count):
+                crashed_set = frozenset(crashed)
+                survivors = alive - crashed_set
+                for delivery in deliveries_for(crashed):
+                    new_states = list(states)
+                    for pid in sorted(survivors):
+                        inbox = []
+                        for sender in alive_sorted:
+                            if sender == pid:
+                                continue
+                            if sender in crashed_set:
+                                index = crashed.index(sender)
+                                if pid not in delivery[index]:
+                                    continue
+                            inbox.append((sender, broadcast[sender]))
+                        new_states[pid] = protocol.transition(
+                            states[pid], round_no, tuple(inbox)
+                        )
+                    outcomes |= explore(
+                        round_no + 1, survivors, tuple(new_states)
+                    )
+                    if {0, 1, DISAGREEMENT} <= outcomes:
+                        break
+                if {0, 1, DISAGREEMENT} <= outcomes:
+                    break
+        result = frozenset(outcomes)
+        cache[key] = result
+        return result
+
+    return explore(0, frozenset(range(n)), initial_states)
+
+
+def classify_all_inputs(protocol: ToyProtocol, t: int) -> ValencyReport:
+    """Classify every input assignment of a (small) protocol."""
+    outcomes = {}
+    for inputs in itertools.product((0, 1), repeat=protocol.n):
+        outcomes[inputs] = reachable_outcomes(protocol, inputs, t)
+    return ValencyReport(outcomes=outcomes)

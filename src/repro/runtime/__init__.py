@@ -1,0 +1,82 @@
+"""Synchronous message-passing substrate (Section 2 of the paper).
+
+Public surface:
+
+* :class:`Message`, :func:`payload_bits` — metered point-to-point messages;
+* :class:`CountingRandom` — the counted random source;
+* :class:`SyncProcess`, :class:`ProcessEnv` — generator-based processes;
+* :class:`SyncNetwork`, :class:`Adversary`, :class:`AdversaryAction`,
+  :class:`NetworkView`, :class:`ExecutionResult` — the round engine and the
+  adaptive full-information adversary hook;
+* :class:`Metrics` — rounds / communication bits / randomness accounting.
+"""
+
+from .messages import MESSAGE_OVERHEAD_BITS, Message, payload_bits
+from .metrics import Metrics
+from .network import (
+    Adversary,
+    AdversaryAction,
+    AdversaryProtocolError,
+    ExecutionResult,
+    LockstepError,
+    NetworkView,
+    SyncNetwork,
+)
+from .process import (
+    ProcessEnv,
+    Program,
+    SyncProcess,
+    idle_rounds,
+    receive_round,
+)
+from .serialization import (
+    load_result,
+    metrics_from_dict,
+    metrics_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    trace_to_dict,
+)
+from .trace import RoundTrace, TraceRecorder, default_state_probe
+from .randomness import (
+    CountingRandom,
+    derive_seeds,
+    spawn_sources,
+    total_random_bits,
+    total_random_calls,
+)
+
+__all__ = [
+    "MESSAGE_OVERHEAD_BITS",
+    "Message",
+    "payload_bits",
+    "Metrics",
+    "Adversary",
+    "AdversaryAction",
+    "AdversaryProtocolError",
+    "ExecutionResult",
+    "LockstepError",
+    "NetworkView",
+    "SyncNetwork",
+    "ProcessEnv",
+    "Program",
+    "SyncProcess",
+    "idle_rounds",
+    "receive_round",
+    "RoundTrace",
+    "TraceRecorder",
+    "default_state_probe",
+    "load_result",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "trace_to_dict",
+    "CountingRandom",
+    "derive_seeds",
+    "spawn_sources",
+    "total_random_bits",
+    "total_random_calls",
+]

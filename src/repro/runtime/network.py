@@ -1,0 +1,417 @@
+"""The synchronous message-passing engine with an adaptive-adversary hook.
+
+Each simulated round follows the paper's two-phase structure (Section 2):
+
+1. *Local computation phase* — every live process's generator is resumed with
+   the previous round's (post-omission) inbox; it updates state, draws metered
+   randomness, and queues outgoing messages.
+2. *Communication phase* — the adversary observes everything (full
+   information: process states, this round's outbound messages, randomness
+   already drawn) and returns an :class:`AdversaryAction`: which processes to
+   newly corrupt and which faulty-incident messages to omit.  The engine
+   validates legality (corruption budget, omissions only at faulty processes)
+   and delivers the surviving messages, to be consumed next round.
+
+The engine never trusts the strategy: illegal actions raise
+:class:`AdversaryProtocolError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .messages import Message
+from .metrics import Metrics
+from .process import ProcessEnv, Program, SyncProcess
+from .randomness import CountingRandom, derive_seeds
+
+
+class AdversaryProtocolError(RuntimeError):
+    """Raised when an adversary strategy violates the model's rules."""
+
+
+class LockstepError(RuntimeError):
+    """Raised when processes fall out of lockstep (a protocol bug)."""
+
+
+@dataclass(slots=True)
+class AdversaryAction:
+    """What the adversary does between the two phases of one round.
+
+    Attributes
+    ----------
+    corrupt:
+        Process ids to corrupt *now* (before this round's delivery); they may
+        already have messages in flight this round, all of which become
+        omittable.
+    omit:
+        Indices into the round's message list to omit.  Every index must point
+        at a message whose sender or recipient is faulty after the new
+        corruptions are applied.
+    """
+
+    corrupt: frozenset[int] = frozenset()
+    omit: frozenset[int] = frozenset()
+
+    @staticmethod
+    def nothing() -> "AdversaryAction":
+        return AdversaryAction()
+
+
+class NetworkView:
+    """Read-only full-information snapshot handed to the adversary.
+
+    The adversary sees process objects (and thus their entire state), the
+    round's outbound messages, who is already faulty, and the remaining
+    corruption budget.  It cannot see *future* random bits because they have
+    not been drawn yet.
+    """
+
+    __slots__ = (
+        "round",
+        "processes",
+        "messages",
+        "faulty",
+        "budget_left",
+        "decisions",
+        "terminated",
+    )
+
+    def __init__(
+        self,
+        round_no: int,
+        processes: Sequence[SyncProcess],
+        messages: Sequence[Message],
+        faulty: frozenset[int],
+        budget_left: int,
+        decisions: Mapping[int, Any],
+        terminated: frozenset[int],
+    ) -> None:
+        self.round = round_no
+        self.processes = processes
+        self.messages = messages
+        self.faulty = faulty
+        self.budget_left = budget_left
+        self.decisions = decisions
+        self.terminated = terminated
+
+    # Convenience helpers used by concrete strategies -------------------
+    def message_indices_touching(self, pids: Iterable[int]) -> frozenset[int]:
+        """Indices of messages sent by or to any of ``pids``."""
+        targets = set(pids)
+        return frozenset(
+            index
+            for index, message in enumerate(self.messages)
+            if message.sender in targets or message.recipient in targets
+        )
+
+    def message_indices_from(self, pids: Iterable[int]) -> frozenset[int]:
+        """Indices of messages sent by any of ``pids``."""
+        senders = set(pids)
+        return frozenset(
+            index
+            for index, message in enumerate(self.messages)
+            if message.sender in senders
+        )
+
+    def message_indices_to(self, pids: Iterable[int]) -> frozenset[int]:
+        """Indices of messages addressed to any of ``pids``."""
+        recipients = set(pids)
+        return frozenset(
+            index
+            for index, message in enumerate(self.messages)
+            if message.recipient in recipients
+        )
+
+
+class Adversary:
+    """Base adversary: corrupts nobody and omits nothing.
+
+    Concrete strategies override :meth:`act`; they may also override
+    :meth:`setup` to inspect the system before round 0.
+    """
+
+    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
+        """Called once before the first round."""
+
+    def act(self, view: NetworkView) -> AdversaryAction:
+        """Return this round's corruptions and omissions."""
+        return AdversaryAction.nothing()
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of :meth:`SyncNetwork.run`."""
+
+    n: int
+    decisions: dict[int, Any]
+    metrics: Metrics
+    faulty: frozenset[int]
+    all_terminated: bool
+    rounds: int
+    #: Per-process random-source statistics (calls, bits).
+    randomness_per_process: list[tuple[int, int]] = field(default_factory=list)
+    #: Round in which each process first decided (absent = never decided).
+    decision_rounds: dict[int, int] = field(default_factory=dict)
+
+    def time_to_agreement(self) -> int:
+        """The paper's *time* metric: rounds until the last **non-faulty**
+        process has decided (Section 2).  Faulty stragglers — e.g. fully
+        eclipsed processes waiting out their timeout — do not count.
+
+        Raises ``AssertionError`` if some non-faulty process never decided.
+        """
+        latest = -1
+        for pid in range(self.n):
+            if pid in self.faulty:
+                continue
+            round_no = self.decision_rounds.get(pid)
+            if round_no is None:
+                raise AssertionError(
+                    f"non-faulty process {pid} never decided"
+                )
+            latest = max(latest, round_no)
+        if latest < 0:
+            raise AssertionError("no non-faulty process decided")
+        return latest + 1
+
+    def non_faulty_decisions(self) -> dict[int, Any]:
+        """Decisions of processes the adversary never corrupted."""
+        return {
+            pid: value
+            for pid, value in self.decisions.items()
+            if pid not in self.faulty
+        }
+
+    def agreement_value(self) -> Any:
+        """The unique decision of non-faulty processes.
+
+        Raises ``AssertionError`` if agreement is violated or some non-faulty
+        process never decided — the core correctness check used by tests.
+        """
+        values = self.non_faulty_decisions()
+        undecided = [
+            pid
+            for pid in range(self.n)
+            if pid not in self.faulty and pid not in values
+        ]
+        if undecided:
+            raise AssertionError(
+                f"termination violated: non-faulty processes {undecided} "
+                "never decided"
+            )
+        distinct = set(values.values())
+        if len(distinct) != 1:
+            raise AssertionError(
+                f"agreement violated: non-faulty decisions {values}"
+            )
+        return distinct.pop()
+
+
+class SyncNetwork:
+    """Drives a set of :class:`SyncProcess` generators in lockstep rounds."""
+
+    def __init__(
+        self,
+        processes: Sequence[SyncProcess],
+        adversary: Adversary | None = None,
+        t: int = 0,
+        seed: int = 0,
+        max_rounds: int = 100_000,
+        on_round: Callable[[int, "SyncNetwork"], None] | None = None,
+        reseed_at: tuple[int, int] | None = None,
+    ) -> None:
+        if not processes:
+            raise ValueError("need at least one process")
+        n = len(processes)
+        for index, process in enumerate(processes):
+            if process.pid != index:
+                raise ValueError(
+                    f"process at position {index} has pid {process.pid}; "
+                    "pids must equal list positions"
+                )
+            if process.n != n:
+                raise ValueError(
+                    f"process {process.pid} was built for n={process.n}, "
+                    f"but the network has n={n}"
+                )
+        if t < 0 or t >= n:
+            raise ValueError(f"fault budget t={t} must satisfy 0 <= t < n={n}")
+
+        self.processes = list(processes)
+        self.n = n
+        self.t = t
+        self.adversary = adversary if adversary is not None else Adversary()
+        self.max_rounds = max_rounds
+        self.metrics = Metrics()
+        self.faulty: set[int] = set()
+        self.round = 0
+        self._on_round = on_round
+        #: Optional (round, seed): at the start of that round every
+        #: process's random source is re-seeded from ``seed`` — the fork
+        #: point used by rollout-based adversaries (future coins must be
+        #: fresh, already-drawn coins must replay exactly).
+        self._reseed_at = reseed_at
+
+        seeds = derive_seeds(seed, n, salt="process-randomness")
+        self.sources = [CountingRandom(s) for s in seeds]
+        self.envs = [
+            ProcessEnv(pid, n, self.sources[pid]) for pid in range(n)
+        ]
+        self._programs: list[Program | None] = [
+            process.program(self.envs[process.pid]) for process in self.processes
+        ]
+        self._inboxes: list[list[Message]] = [[] for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        """Number of processes whose programs have not returned yet."""
+        return sum(1 for program in self._programs if program is not None)
+
+    def terminated_set(self) -> frozenset[int]:
+        return frozenset(
+            pid for pid, program in enumerate(self._programs) if program is None
+        )
+
+    # ------------------------------------------------------------------
+    def _advance_processes(self) -> list[Message]:
+        """Run the local-computation phase; collect all outbound messages."""
+        outbound: list[Message] = []
+        for pid, program in enumerate(self._programs):
+            if program is None:
+                continue
+            env = self.envs[pid]
+            env.round = self.round
+            env.outbox = []
+            inbox = self._inboxes[pid]
+            self._inboxes[pid] = []
+            try:
+                if self.round == 0:
+                    next(program)
+                else:
+                    program.send(inbox)
+            except StopIteration:
+                self._programs[pid] = None
+            # Messages queued before a final ``return`` are still sent: the
+            # process completed its local computation phase this round.
+            outbound.extend(env.outbox)
+        return outbound
+
+    def _apply_adversary(self, messages: list[Message]) -> list[Message]:
+        """Communication phase: let the adversary corrupt and omit."""
+        view = NetworkView(
+            round_no=self.round,
+            processes=self.processes,
+            messages=messages,
+            faulty=frozenset(self.faulty),
+            budget_left=self.t - len(self.faulty),
+            decisions=self.current_decisions(),
+            terminated=self.terminated_set(),
+        )
+        action = self.adversary.act(view)
+
+        new_corruptions = set(action.corrupt) - self.faulty
+        if len(self.faulty) + len(new_corruptions) > self.t:
+            raise AdversaryProtocolError(
+                f"corruption budget exceeded: have {len(self.faulty)}, "
+                f"tried to add {len(new_corruptions)}, budget t={self.t}"
+            )
+        for pid in new_corruptions:
+            if not 0 <= pid < self.n:
+                raise AdversaryProtocolError(f"cannot corrupt unknown pid {pid}")
+        self.faulty |= new_corruptions
+
+        omit = set(action.omit)
+        for index in omit:
+            if not 0 <= index < len(messages):
+                raise AdversaryProtocolError(
+                    f"omit index {index} out of range "
+                    f"({len(messages)} messages this round)"
+                )
+            message = messages[index]
+            if (
+                message.sender not in self.faulty
+                and message.recipient not in self.faulty
+            ):
+                raise AdversaryProtocolError(
+                    "omissions are only allowed on messages to/from faulty "
+                    f"processes; message {message.sender}->{message.recipient} "
+                    "touches none"
+                )
+        self.metrics.record_omissions(len(omit))
+        return [
+            message
+            for index, message in enumerate(messages)
+            if index not in omit
+        ]
+
+    def _deliver(self, messages: list[Message]) -> None:
+        delivered_bits = 0
+        for message in messages:
+            if self._programs[message.recipient] is None:
+                continue  # recipient already terminated; message is lost
+            self._inboxes[message.recipient].append(message)
+            delivered_bits += message.bits
+        for inbox in self._inboxes:
+            inbox.sort(key=lambda message: message.sender)
+        self.metrics.record_delivery(len(messages), delivered_bits)
+
+    def current_decisions(self) -> dict[int, Any]:
+        return {
+            env.pid: env.decision for env in self.envs if env.has_decided
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        """Run rounds until every process terminates (or max_rounds)."""
+        self.adversary.setup(self.n, self.t, self.processes)
+        while self.live_count > 0:
+            if (
+                self._reseed_at is not None
+                and self.round == self._reseed_at[0]
+            ):
+                fork_seeds = derive_seeds(
+                    self._reseed_at[1], self.n, salt="fork"
+                )
+                for source, fork_seed in zip(self.sources, fork_seeds):
+                    source.reseed(fork_seed)
+                self._reseed_at = None
+            if self.round >= self.max_rounds:
+                raise LockstepError(
+                    f"protocol did not terminate within {self.max_rounds} "
+                    f"rounds; {self.live_count} processes still live"
+                )
+            outbound = self._advance_processes()
+            if self.live_count == 0 and not outbound:
+                break
+            self.metrics.record_round(
+                len(outbound), sum(message.bits for message in outbound)
+            )
+            surviving = self._apply_adversary(outbound)
+            self._deliver(surviving)
+            if self._on_round is not None:
+                self._on_round(self.round, self)
+            self.round += 1
+
+        self.metrics.record_randomness(
+            sum(source.calls for source in self.sources),
+            sum(source.bits_drawn for source in self.sources),
+        )
+        return ExecutionResult(
+            n=self.n,
+            decisions=self.current_decisions(),
+            metrics=self.metrics,
+            faulty=frozenset(self.faulty),
+            all_terminated=all(env.has_decided for env in self.envs),
+            rounds=self.metrics.rounds,
+            randomness_per_process=[
+                (source.calls, source.bits_drawn) for source in self.sources
+            ],
+            decision_rounds={
+                env.pid: env.decision_round
+                for env in self.envs
+                if env.decision_round is not None
+            },
+        )

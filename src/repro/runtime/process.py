@@ -1,0 +1,150 @@
+"""Process abstraction for synchronous protocols.
+
+A protocol process is written as a Python *generator*: each ``yield``
+terminates the current round's local-computation-plus-send phase and resumes
+with the next round's inbox.  Multi-phase protocols compose naturally with
+``yield from`` sub-protocols, and the engine keeps all processes in lockstep.
+
+Typical structure::
+
+    class MyProcess(SyncProcess):
+        def program(self, env):
+            env.send(0, "hello")
+            inbox = yield                  # round boundary
+            ...
+            env.decide(value)
+            # returning ends participation (the process terminates)
+
+The inbox delivered at each ``yield`` is the list of :class:`Message` objects
+that survived the adversary, sorted by sender for determinism.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Iterable
+
+from .messages import MESSAGE_OVERHEAD_BITS, Message, payload_bits
+from .randomness import CountingRandom
+
+#: Type of a protocol program: yields None (round boundary), receives the
+#: next round's inbox, returns when the process terminates.  Sub-protocols
+#: used via ``yield from`` may return a value to their caller.
+Program = Generator[None, list[Message], Any]
+
+
+class ProcessEnv:
+    """Per-process handle to the synchronous network.
+
+    Exposes the only operations the model allows: queueing messages for the
+    current communication phase, drawing metered randomness, and recording a
+    decision.
+    """
+
+    __slots__ = (
+        "pid",
+        "n",
+        "random",
+        "outbox",
+        "decision",
+        "has_decided",
+        "round",
+        "decision_round",
+    )
+
+    def __init__(self, pid: int, n: int, random_source: CountingRandom) -> None:
+        self.pid = pid
+        self.n = n
+        self.random = random_source
+        self.outbox: list[Message] = []
+        self.decision: Any = None
+        self.has_decided = False
+        #: Current round number (0-based), maintained by the engine.
+        self.round = 0
+        #: Round in which :meth:`decide` was first called (None = never).
+        self.decision_round: int | None = None
+
+    def send(self, recipient: int, payload: Any) -> None:
+        """Queue a message for delivery at the end of this round."""
+        if not 0 <= recipient < self.n:
+            raise ValueError(
+                f"recipient {recipient} out of range for n={self.n}"
+            )
+        self.outbox.append(Message(self.pid, recipient, payload))
+
+    def send_many(self, recipients: Iterable[int], payload: Any) -> None:
+        """Queue the same payload to several recipients.
+
+        The payload is sized once, not once per recipient — identical bits
+        on the wire, much cheaper to meter for wide fan-outs.
+        """
+        bits = payload_bits(payload) + MESSAGE_OVERHEAD_BITS
+        pid, n, outbox = self.pid, self.n, self.outbox
+        for recipient in recipients:
+            if not 0 <= recipient < n:
+                raise ValueError(
+                    f"recipient {recipient} out of range for n={n}"
+                )
+            outbox.append(Message(pid, recipient, payload, bits))
+
+    def broadcast(self, payload: Any, include_self: bool = False) -> None:
+        """Queue the payload to every process (optionally including self)."""
+        self.send_many(
+            (
+                recipient
+                for recipient in range(self.n)
+                if include_self or recipient != self.pid
+            ),
+            payload,
+        )
+
+    def decide(self, value: Any) -> None:
+        """Record this process's consensus output (idempotent re-decides
+        with the same value are allowed; conflicting ones are bugs)."""
+        if self.has_decided and self.decision != value:
+            raise RuntimeError(
+                f"process {self.pid} attempted to re-decide "
+                f"{value!r} after deciding {self.decision!r}"
+            )
+        if not self.has_decided:
+            self.decision_round = self.round
+        self.decision = value
+        self.has_decided = True
+
+
+class SyncProcess(ABC):
+    """Base class of all protocol processes.
+
+    Subclasses hold their protocol state in public attributes — the adversary
+    is *full-information* and is handed the process objects directly.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+
+    @abstractmethod
+    def program(self, env: ProcessEnv) -> Program:
+        """The process's protocol, as a round-per-yield generator."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(pid={self.pid}, n={self.n})"
+
+
+def idle_rounds(env: ProcessEnv, rounds: int) -> Program:
+    """Stay silent for exactly ``rounds`` rounds (used by inoperative
+    processes so every code path consumes the same number of rounds)."""
+    for _ in range(rounds):
+        yield
+    return None
+
+
+def receive_round(env: ProcessEnv) -> Program:
+    """Consume one round without sending; generator returns the inbox.
+
+    Usage: ``inbox = yield from receive_round(env)``.
+    """
+    inbox = yield
+    return inbox

@@ -1,0 +1,185 @@
+"""Structured execution tracing.
+
+A :class:`TraceRecorder` attaches to :class:`SyncNetwork` (via the
+``on_round`` hook plus an adversary wrapper) and records one
+:class:`RoundTrace` per round: traffic, omissions, corruptions, decisions,
+and a configurable sample of process state (by default the Algorithm-1
+``b`` / ``operative`` / ``decided`` triple).  Traces power the diagnostics
+example and the regression tests that assert *when* things happened, not
+just final outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .network import Adversary, AdversaryAction, NetworkView, SyncNetwork
+from .process import SyncProcess
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Everything that happened in one round."""
+
+    round: int
+    messages_sent: int
+    bits_sent: int
+    messages_omitted: int
+    newly_corrupted: tuple[int, ...]
+    newly_decided: tuple[int, ...]
+    #: Optional per-process state sample (pid -> snapshot).
+    state_sample: dict[int, Any] = field(default_factory=dict)
+
+
+def default_state_probe(process: SyncProcess) -> Any:
+    """Snapshot the Algorithm-1-style public state, if present."""
+    keys = ("b", "operative", "decided", "epoch", "phase")
+    snapshot = {
+        key: getattr(process, key)
+        for key in keys
+        if hasattr(process, key)
+    }
+    return snapshot or None
+
+
+class _RecordingAdversary(Adversary):
+    """Wraps the real adversary to observe its actions."""
+
+    def __init__(self, inner: Adversary, recorder: "TraceRecorder") -> None:
+        self.inner = inner
+        self.recorder = recorder
+
+    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
+        self.inner.setup(n, t, processes)
+
+    def act(self, view: NetworkView) -> AdversaryAction:
+        action = self.inner.act(view)
+        self.recorder._note_action(view.round, action, view)
+        return action
+
+
+class TraceRecorder:
+    """Collects :class:`RoundTrace` records from a network run.
+
+    Usage::
+
+        recorder = TraceRecorder()
+        network = recorder.attach(SyncNetwork(processes, adversary=..., t=t))
+        result = network.run()
+        recorder.rounds[3].newly_corrupted
+
+    ``probe``: callable mapping a process to a state snapshot (None to skip
+    that process); ``sample_every``: only store snapshots every k rounds to
+    bound memory on long runs.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[SyncProcess], Any] | None = default_state_probe,
+        sample_every: int = 1,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.probe = probe
+        self.sample_every = sample_every
+        self.rounds: list[RoundTrace] = []
+        self._pending_action: AdversaryAction | None = None
+        self._known_decided: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def attach(self, network: SyncNetwork) -> SyncNetwork:
+        """Wire this recorder into the network; returns the same network."""
+        network.adversary = _RecordingAdversary(network.adversary, self)
+        previous_hook = network._on_round
+
+        def hook(round_no: int, net: SyncNetwork) -> None:
+            self._record_round(round_no, net)
+            if previous_hook is not None:
+                previous_hook(round_no, net)
+
+        network._on_round = hook
+        return network
+
+    # ------------------------------------------------------------------
+    def _note_action(
+        self, round_no: int, action: AdversaryAction, view: NetworkView
+    ) -> None:
+        already_faulty = view.faulty
+        self._pending_action = AdversaryAction(
+            corrupt=frozenset(action.corrupt) - already_faulty,
+            omit=action.omit,
+        )
+
+    def _record_round(self, round_no: int, network: SyncNetwork) -> None:
+        action = self._pending_action or AdversaryAction.nothing()
+        self._pending_action = None
+
+        decided_now = []
+        for env in network.envs:
+            if env.has_decided and env.pid not in self._known_decided:
+                self._known_decided.add(env.pid)
+                decided_now.append(env.pid)
+
+        sample: dict[int, Any] = {}
+        if self.probe is not None and round_no % self.sample_every == 0:
+            for process in network.processes:
+                snapshot = self.probe(process)
+                if snapshot is not None:
+                    sample[process.pid] = snapshot
+
+        metrics = network.metrics
+        self.rounds.append(
+            RoundTrace(
+                round=round_no,
+                messages_sent=metrics.messages_per_round[round_no],
+                bits_sent=metrics.bits_per_round[round_no],
+                messages_omitted=len(action.omit),
+                newly_corrupted=tuple(sorted(action.corrupt)),
+                newly_decided=tuple(sorted(decided_now)),
+                state_sample=sample,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries used by diagnostics and tests.
+    def corruption_rounds(self) -> dict[int, int]:
+        """pid -> round in which the adversary corrupted it."""
+        schedule: dict[int, int] = {}
+        for trace in self.rounds:
+            for pid in trace.newly_corrupted:
+                schedule.setdefault(pid, trace.round)
+        return schedule
+
+    def decision_rounds(self) -> dict[int, int]:
+        """pid -> round in which it decided, as observed by the per-round
+        hook.  Decisions made in a run's terminal local-computation phase
+        (after the last communication round) are not part of any traced
+        round; use ``ExecutionResult.decision_rounds`` for the complete
+        map."""
+        schedule: dict[int, int] = {}
+        for trace in self.rounds:
+            for pid in trace.newly_decided:
+                schedule.setdefault(pid, trace.round)
+        return schedule
+
+    def total_omissions(self) -> int:
+        return sum(trace.messages_omitted for trace in self.rounds)
+
+    def traffic_profile(self) -> list[tuple[int, int]]:
+        """(round, messages) series — the per-round traffic shape."""
+        return [(trace.round, trace.messages_sent) for trace in self.rounds]
+
+    def operative_series(self) -> list[tuple[int, int]]:
+        """(round, #operative) series when the probe captured it."""
+        series = []
+        for trace in self.rounds:
+            if not trace.state_sample:
+                continue
+            operative = sum(
+                1
+                for snapshot in trace.state_sample.values()
+                if isinstance(snapshot, dict) and snapshot.get("operative")
+            )
+            series.append((trace.round, operative))
+        return series

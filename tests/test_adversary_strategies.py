@@ -1,0 +1,157 @@
+"""Unit tests for the adversary strategy gallery."""
+
+from repro.adversary import (
+    EclipseAdversary,
+    GroupKnockoutAdversary,
+    RandomOmissionAdversary,
+    SilenceAdversary,
+    StaticCrashAdversary,
+    VoteBalancingAdversary,
+)
+from repro.runtime import (
+    Message,
+    NetworkView,
+    ProcessEnv,
+    SyncNetwork,
+    SyncProcess,
+)
+
+
+class Babbler(SyncProcess):
+    """Broadcasts its pid each round; tracks what it hears."""
+
+    def __init__(self, pid, n, rounds=6):
+        super().__init__(pid, n)
+        self.rounds = rounds
+        self.heard: list[set[int]] = []
+
+    def program(self, env: ProcessEnv):
+        for _ in range(self.rounds):
+            env.broadcast(("hi", self.pid))
+            inbox = yield
+            self.heard.append({message.sender for message in inbox})
+        env.decide("done")
+        return None
+
+
+def run_babble(n, adversary, t, rounds=6, seed=0):
+    processes = [Babbler(pid, n, rounds) for pid in range(n)]
+    network = SyncNetwork(processes, adversary=adversary, t=t, seed=seed)
+    result = network.run()
+    return result, processes
+
+
+class TestSilenceAdversary:
+    def test_victims_never_heard(self):
+        result, processes = run_babble(6, SilenceAdversary([0, 1]), t=2)
+        assert result.faulty == frozenset({0, 1})
+        for process in processes[2:]:
+            for heard in process.heard[1:]:
+                assert heard.isdisjoint({0, 1})
+
+    def test_respects_budget(self):
+        result, _ = run_babble(6, SilenceAdversary(range(6)), t=2)
+        assert len(result.faulty) == 2
+
+
+class TestStaticCrashAdversary:
+    def test_crash_round_honoured(self):
+        adversary = StaticCrashAdversary({3: [2]})
+        result, processes = run_babble(5, adversary, t=1)
+        assert result.faulty == frozenset({2})
+        listener = processes[0]
+        # Heard process 2 before its crash round, never after.
+        assert 2 in listener.heard[1]
+        for heard in listener.heard[4:]:
+            assert 2 not in heard
+
+
+class TestRandomOmissionAdversary:
+    def test_only_faulty_links_touched(self):
+        adversary = RandomOmissionAdversary(1.0, corrupt_count=1, seed=3)
+        result, processes = run_babble(6, adversary, t=1)
+        (victim,) = result.faulty
+        for process in processes:
+            if process.pid == victim:
+                continue
+            for heard in process.heard[1:]:
+                assert victim not in heard
+
+    def test_zero_probability_never_omits(self):
+        adversary = RandomOmissionAdversary(0.0, seed=4)
+        result, _ = run_babble(6, adversary, t=2)
+        assert result.metrics.messages_omitted == 0
+
+
+class TestEclipseAdversary:
+    def test_only_victim_links_omitted(self):
+        victim, neighbors = 0, [1, 2]
+        adversary = EclipseAdversary(victim, neighbors)
+        result, processes = run_babble(6, adversary, t=2)
+        assert result.faulty == frozenset(neighbors)
+        # Victim stops hearing its eclipsed neighbours...
+        for heard in processes[victim].heard[1:]:
+            assert heard.isdisjoint(neighbors)
+        # ...but everyone else still hears them (only victim-bound messages
+        # are dropped).
+        for heard in processes[3].heard[1:]:
+            assert {1, 2} <= heard
+
+
+class TestGroupKnockoutAdversary:
+    def test_majority_of_group_silenced(self):
+        group = (0, 1, 2, 3)
+        adversary = GroupKnockoutAdversary(group)
+        result, processes = run_babble(8, adversary, t=3)
+        assert result.faulty == frozenset({0, 1, 2})
+        for heard in processes[5].heard[1:]:
+            assert heard.isdisjoint({0, 1, 2})
+
+
+class TestVoteBalancingAdversary:
+    def test_silences_leading_holders(self):
+        class Holder(Babbler):
+            def __init__(self, pid, n):
+                super().__init__(pid, n)
+                self.b = 1 if pid < 5 else 0  # 5 ones vs 1 zero
+                self.operative = True
+                self.decided = False
+
+        processes = [Holder(pid, 6) for pid in range(6)]
+        adversary = VoteBalancingAdversary(seed=1)
+        network = SyncNetwork(processes, adversary=adversary, t=2, seed=1)
+        result = network.run()
+        # margin = 4 -> silence min(margin//2, budget) = 2 ones-holders.
+        assert len(result.faulty) == 2
+        assert all(pid < 5 for pid in result.faulty)
+
+    def test_does_nothing_when_balanced(self):
+        class Holder(Babbler):
+            def __init__(self, pid, n):
+                super().__init__(pid, n)
+                self.b = pid % 2
+                self.operative = True
+                self.decided = False
+
+        processes = [Holder(pid, 6) for pid in range(6)]
+        adversary = VoteBalancingAdversary(seed=2)
+        network = SyncNetwork(processes, adversary=adversary, t=2, seed=2)
+        result = network.run()
+        assert result.faulty == frozenset()
+
+
+class TestViewHelpers:
+    def test_message_index_helpers(self):
+        messages = [Message(0, 1, "a"), Message(1, 2, "b"), Message(2, 0, "c")]
+        view = NetworkView(
+            round_no=0,
+            processes=[],
+            messages=messages,
+            faulty=frozenset(),
+            budget_left=0,
+            decisions={},
+            terminated=frozenset(),
+        )
+        assert view.message_indices_from({1}) == frozenset({1})
+        assert view.message_indices_to({0}) == frozenset({2})
+        assert view.message_indices_touching({0}) == frozenset({0, 2})

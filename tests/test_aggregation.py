@@ -1,0 +1,167 @@
+"""Unit tests for GroupBitsAggregation (Algorithm 2) via a harness network.
+
+One group is simulated in isolation: every process runs only the
+aggregation sub-protocol and reports its result as its decision.
+"""
+
+import pytest
+
+from repro.adversary import SilenceAdversary
+from repro.core import cached_bag_tree, global_stage_count, cached_sqrt_partition
+from repro.core.aggregation import group_bits_aggregation
+from repro.params import ProtocolParams
+from repro.runtime import ProcessEnv, SyncNetwork, SyncProcess
+
+
+class AggregationHarness(SyncProcess):
+    """Runs one aggregation over the whole pid range as a single group."""
+
+    def __init__(self, pid, n, bit, operative=True, stage_budget=None):
+        super().__init__(pid, n)
+        self.bit = bit
+        self.operative_in = operative
+        self.stage_budget = stage_budget
+        self.result = None
+
+    def program(self, env: ProcessEnv):
+        group = tuple(range(self.n))
+        tree = cached_bag_tree(group)
+        budget = (
+            self.stage_budget
+            if self.stage_budget is not None
+            else tree.num_stages
+        )
+        result = yield from group_bits_aggregation(
+            env,
+            group,
+            tree,
+            self.operative_in,
+            self.bit,
+            ProtocolParams.practical(),
+            budget,
+        )
+        self.result = result
+        env.decide((result.ones, result.zeros, result.operative))
+        return None
+
+
+def run_group(bits, adversary=None, t=0, operative=None, stage_budget=None):
+    n = len(bits)
+    processes = [
+        AggregationHarness(
+            pid,
+            n,
+            bits[pid],
+            operative=True if operative is None else operative[pid],
+            stage_budget=stage_budget,
+        )
+        for pid in range(n)
+    ]
+    network = SyncNetwork(processes, adversary=adversary, t=t, seed=1)
+    result = network.run()
+    return result, processes
+
+
+class TestFaultFreeAggregation:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13, 16])
+    def test_exact_counts(self, n):
+        bits = [pid % 2 for pid in range(n)]
+        result, _ = run_group(bits)
+        expected = (sum(bits), n - sum(bits), True)
+        for pid in range(n):
+            assert result.decisions[pid] == expected
+
+    def test_all_ones(self):
+        result, _ = run_group([1] * 9)
+        assert result.decisions[0] == (9, 0, True)
+
+    def test_all_zeros(self):
+        result, _ = run_group([0] * 9)
+        assert result.decisions[0] == (0, 9, True)
+
+    def test_rounds_equal_three_per_stage(self):
+        n = 8
+        tree = cached_bag_tree(tuple(range(n)))
+        result, _ = run_group([1] * n)
+        assert result.rounds == 3 * tree.num_stages
+
+    def test_stage_budget_padding_keeps_lockstep(self):
+        """Groups padded to a larger global budget still return correctly."""
+        result, _ = run_group([1, 0, 1], stage_budget=5)
+        assert result.decisions[0] == (2, 1, True)
+        assert result.rounds == 15
+
+
+class TestInoperativeInputs:
+    def test_initially_inoperative_not_counted(self):
+        bits = [1, 1, 1, 0, 0, 0]
+        operative = [True, True, False, True, False, True]
+        result, _ = run_group(bits, operative=operative)
+        # pids 2 (bit 1) and 4 (bit 0) are not counted.
+        for pid in (0, 1, 3, 5):
+            assert result.decisions[pid] == (2, 2, True)
+
+    def test_inoperative_returns_zero_counts(self):
+        result, _ = run_group(
+            [1, 1, 1, 1], operative=[True, True, True, False]
+        )
+        assert result.decisions[3] == (0, 0, False)
+
+    def test_inoperative_still_relays(self):
+        """An inoperative member still transmits, so operative members keep
+        their quorums even when it is the only bridge... here simply: counts
+        stay exact despite half the group being inoperative."""
+        bits = [1, 0, 1, 0, 1, 0, 1, 0]
+        operative = [True, False, True, False, True, False, True, False]
+        result, _ = run_group(bits, operative=operative)
+        assert result.decisions[0] == (4, 0, True)
+
+
+class TestAggregationUnderOmissions:
+    def test_silenced_member_not_counted_others_exact(self):
+        """Silencing one faulty member: its bit disappears; the remaining
+        operative processes agree on the reduced counts."""
+        bits = [1, 1, 1, 1, 0, 0, 0, 0, 1]
+        result, processes = run_group(
+            bits, adversary=SilenceAdversary([4]), t=1
+        )
+        survivors = [pid for pid in range(9) if pid != 4]
+        values = {result.decisions[pid] for pid in survivors}
+        assert values == {(5, 3, True)}
+
+    def test_silenced_member_goes_inoperative(self):
+        bits = [1] * 9
+        result, _ = run_group(bits, adversary=SilenceAdversary([2]), t=1)
+        ones, zeros, operative = result.decisions[2]
+        assert not operative
+
+    def test_majority_silenced_group_collapses(self):
+        """With more than half the group silenced, survivors lose the
+        GroupRelay confirmation quorum and go inoperative (Lemma-7 edge)."""
+        n = 9
+        silenced = list(range(5))
+        result, _ = run_group(
+            [1] * n, adversary=SilenceAdversary(silenced), t=5
+        )
+        for pid in range(5, n):
+            ones, zeros, operative = result.decisions[pid]
+            assert not operative
+
+    def test_counts_differ_at_most_by_knockouts(self):
+        """Lemma 1/2 consequence: operative results differ by at most the
+        number of processes that became inoperative."""
+        bits = [pid % 2 for pid in range(16)]
+        result, processes = run_group(
+            bits, adversary=SilenceAdversary([1, 3]), t=2
+        )
+        operative_totals = [
+            ones + zeros
+            for (ones, zeros, operative) in result.decisions.values()
+            if operative
+        ]
+        knocked_out = sum(
+            1
+            for (_, _, operative) in result.decisions.values()
+            if not operative
+        )
+        assert max(operative_totals) - min(operative_totals) <= knocked_out

@@ -1,0 +1,99 @@
+"""Tests for the batch-campaign runner."""
+
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignSpec,
+    load_campaign,
+    run_campaign,
+    save_campaign,
+    summarize_campaign,
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="test-campaign",
+        protocol="algorithm1",
+        ns=[33],
+        adversaries=["none", "silence"],
+        seeds=[0, 1],
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSpec:
+    def test_grid_enumerates_all_cells(self):
+        spec = small_spec()
+        assert len(list(spec.grid())) == 4
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            small_spec(protocol="paxos")
+
+    def test_rejects_unknown_adversary(self):
+        with pytest.raises(ValueError):
+            small_spec(adversaries=["byzantine"])
+
+
+class TestRun:
+    def test_records_have_expected_fields(self):
+        records = run_campaign(small_spec(seeds=[0]))
+        assert len(records) == 2
+        for record in records:
+            assert record["decision"] in (0, 1)
+            assert record["rounds"] > 0
+            assert record["bits"] > 0
+            assert record["protocol"] == "algorithm1"
+
+    def test_early_stopping_records_exit_epochs(self):
+        records = run_campaign(
+            small_spec(protocol="early-stopping", adversaries=["none"],
+                       seeds=[0])
+        )
+        assert "exit_epochs" in records[0]
+
+    def test_tradeoff_records_x(self):
+        records = run_campaign(
+            small_spec(protocol="tradeoff", adversaries=["none"], seeds=[0],
+                       options={"x": 3})
+        )
+        assert records[0]["x"] == 3
+
+    def test_resume_skips_done_cells(self):
+        spec = small_spec(adversaries=["none"], seeds=[0, 1])
+        first = run_campaign(spec)
+        marker = dict(first[0])
+        marker["rounds"] = -1  # sentinel proving reuse
+        resumed = run_campaign(spec, resume_from=[marker, first[1]])
+        assert resumed[0]["rounds"] == -1
+        assert resumed[1] == first[1]
+
+    def test_resume_ignores_other_campaigns(self):
+        spec = small_spec(adversaries=["none"], seeds=[0])
+        foreign = dict(run_campaign(spec)[0])
+        foreign["campaign"] = "someone-else"
+        foreign["rounds"] = -1
+        records = run_campaign(spec, resume_from=[foreign])
+        assert records[0]["rounds"] > 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        records = run_campaign(small_spec(adversaries=["none"], seeds=[0]))
+        path = tmp_path / "campaign.json"
+        save_campaign(records, path)
+        assert load_campaign(path) == records
+
+
+class TestSummary:
+    def test_aggregates_per_cell(self):
+        records = run_campaign(small_spec())
+        summary = summarize_campaign(records)
+        assert len(summary) == 2  # two adversaries, one n
+        for row in summary:
+            assert row["runs"] == 2
+            assert row["mean_rounds"] > 0
+            assert 0.0 <= row["fallback_rate"] <= 1.0
+            assert set(row["decisions"]) <= {0, 1}

@@ -1,0 +1,105 @@
+"""Protocol fuzzing: randomized legal adversarial schedules.
+
+Every ChaosAdversary schedule is within the model, so the consensus
+properties must hold for every seed — the protocol-level analogue of
+property-based testing.
+"""
+
+import pytest
+
+from repro.adversary import ChaosAdversary
+from repro.baselines import run_phase_king
+from repro.baselines.dolev_strong import DolevStrongProcess
+from repro.core import run_consensus, run_early_stopping_consensus, run_tradeoff_consensus
+from repro.params import ProtocolParams
+from repro.runtime import SyncNetwork
+
+PARAMS = ProtocolParams.practical()
+
+
+class TestChaosConstruction:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ChaosAdversary(corrupt_rate=1.5)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_algorithm1_survives_chaos(seed):
+    n = 64
+    t = PARAMS.max_faults(n)
+    run = run_consensus(
+        [pid % 2 for pid in range(n)],
+        t=t,
+        adversary=ChaosAdversary(seed=seed),
+        params=PARAMS,
+        seed=seed,
+    )
+    assert run.decision in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_algorithm1_validity_under_chaos(seed):
+    n = 64
+    t = PARAMS.max_faults(n)
+    run = run_consensus(
+        [1] * n,
+        t=t,
+        adversary=ChaosAdversary(seed=seed, corrupt_rate=0.2),
+        params=PARAMS,
+        seed=seed,
+    )
+    assert run.decision == 1
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_early_stopping_survives_chaos(seed):
+    n = 64
+    t = PARAMS.max_faults(n)
+    run = run_early_stopping_consensus(
+        [pid % 2 for pid in range(n)],
+        t=t,
+        adversary=ChaosAdversary(seed=100 + seed),
+        params=PARAMS,
+        seed=seed,
+    )
+    assert run.decision in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_tradeoff_survives_chaos(seed):
+    n = 64
+    run = run_tradeoff_consensus(
+        [pid % 2 for pid in range(n)],
+        4,
+        adversary=ChaosAdversary(seed=200 + seed),
+        params=PARAMS,
+        seed=seed,
+    )
+    assert run.decision in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_dolev_strong_survives_chaos(seed):
+    n, t = 13, 3
+    processes = [
+        DolevStrongProcess(pid, n, pid % 2, t) for pid in range(n)
+    ]
+    network = SyncNetwork(
+        processes,
+        adversary=ChaosAdversary(seed=300 + seed, corrupt_rate=0.3),
+        t=t,
+        seed=seed,
+    )
+    result = network.run()
+    assert result.agreement_value() in (0, 1)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_phase_king_survives_chaos(seed):
+    result, _ = run_phase_king(
+        [pid % 2 for pid in range(13)],
+        t=3,
+        adversary=ChaosAdversary(seed=400 + seed, corrupt_rate=0.3),
+        seed=seed,
+    )
+    assert result.agreement_value() in (0, 1)

@@ -1,0 +1,112 @@
+"""Tests for the repro-consensus CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_subcommand(capsys):
+    code = main(["run", "--n", "36", "--adversary", "silence", "--seed", "1"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "decision" in captured
+    assert "comm. bits" in captured
+
+
+def test_run_unanimous_inputs(capsys):
+    code = main(["run", "--n", "36", "--inputs", "1", "--seed", "2"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "decision      : 1" in captured
+
+
+def test_tradeoff_subcommand(capsys):
+    code = main(["tradeoff", "--n", "32", "--xs", "1,4", "--seed", "3"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "random bits" in captured
+    lines = [line for line in captured.splitlines() if line.strip()]
+    assert len(lines) == 3  # header + two sweep rows
+
+
+def test_table1_subcommand(capsys):
+    code = main(["table1", "--n", "36", "--seed", "4"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Thm 1 (measured)" in captured
+
+
+def test_coin_game_subcommand(capsys):
+    code = main(["coin-game", "--ks", "16", "--trials", "100"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Lemma 12" in captured
+
+
+def test_graph_check_subcommand(capsys):
+    code = main(["graph-check", "--n", "128", "--seed", "5"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "expanding" in captured
+
+
+def test_unknown_adversary_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--n", "32", "--adversary", "nonsense"])
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_json_output(capsys):
+    import json
+
+    code = main(["run", "--n", "33", "--seed", "6", "--json"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(captured)
+    assert payload["decision"] in (0, 1)
+    assert payload["time_to_agreement"] > 0
+    assert payload["n"] == 33
+
+
+def test_campaign_subcommand(tmp_path, capsys):
+    output = tmp_path / "campaign.json"
+    code = main(
+        [
+            "campaign",
+            "--ns", "33",
+            "--adversaries", "none",
+            "--seeds", "0",
+            "--output", str(output),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert output.exists()
+    assert "rounds=" in captured
+    # Second invocation resumes instead of recomputing.
+    code = main(
+        [
+            "campaign",
+            "--ns", "33",
+            "--adversaries", "none",
+            "--seeds", "0",
+            "--output", str(output),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "resuming" in captured
+
+
+def test_ablation_subcommand(capsys):
+    code = main(
+        ["ablation", "--n", "33", "--epochs", "1,6", "--trials", "2"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "fallback rate" in captured
+    assert "decision bias" in captured

@@ -1,0 +1,114 @@
+"""Tests for the one-round coin-flipping game (Lemma 12 machinery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbound import (
+    ThresholdCoinGame,
+    bias_success_probability,
+    lemma12_budget,
+    minimal_budget_for_success,
+    sweep_lemma12,
+)
+
+
+class TestGameMechanics:
+    def test_outcome_majority(self):
+        game = ThresholdCoinGame(k=4, threshold=0)
+        assert game.outcome([1, 1, -1, -1], frozenset()) == 1
+        assert game.outcome([1, -1, -1, -1], frozenset()) == 0
+
+    def test_hidden_values_count_zero(self):
+        game = ThresholdCoinGame(k=3, threshold=1)
+        assert game.outcome([1, -1, -1], frozenset({1, 2})) == 1
+
+    def test_draw_uses_fair_coins(self):
+        game = ThresholdCoinGame(k=1000)
+        values = game.draw(random.Random(1))
+        assert set(values) == {-1, 1}
+        assert abs(sum(values)) < 150
+
+    def test_bias_toward_zero_exact(self):
+        game = ThresholdCoinGame(k=5, threshold=0)
+        values = [1, 1, 1, -1, -1]  # sum = 1, need < 0: hide 2 ones
+        hidden = game.bias_toward(values, target=0, budget=2)
+        assert hidden is not None
+        assert len(hidden) == 2
+        assert game.outcome(values, hidden) == 0
+
+    def test_bias_toward_one_exact(self):
+        game = ThresholdCoinGame(k=5, threshold=0)
+        values = [-1, -1, -1, 1, 1]  # sum = -1, need >= 0: hide 1 minus
+        hidden = game.bias_toward(values, target=1, budget=1)
+        assert hidden is not None
+        assert len(hidden) == 1
+        assert game.outcome(values, hidden) == 1
+
+    def test_bias_impossible_with_small_budget(self):
+        game = ThresholdCoinGame(k=4, threshold=0)
+        assert game.bias_toward([1, 1, 1, 1], target=0, budget=2) is None
+
+    def test_already_biased_needs_nothing(self):
+        game = ThresholdCoinGame(k=3, threshold=0)
+        assert game.bias_toward([-1, -1, -1], target=0, budget=0) == frozenset()
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=40),
+        st.sampled_from([0, 1]),
+    )
+    def test_bias_result_always_achieves_target(self, values, budget, target):
+        game = ThresholdCoinGame(k=len(values), threshold=0)
+        hidden = game.bias_toward(values, target, budget)
+        if hidden is not None:
+            assert len(hidden) <= budget
+            assert game.outcome(values, hidden) == target
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=30),
+        st.sampled_from([0, 1]),
+    )
+    def test_greedy_is_minimal(self, values, target):
+        """No smaller hidden set forces the target (greedy optimality for
+        threshold games)."""
+        game = ThresholdCoinGame(k=len(values), threshold=0)
+        hidden = game.bias_toward(values, target, budget=len(values))
+        if hidden is None or len(hidden) == 0:
+            return
+        smaller_budget = len(hidden) - 1
+        assert game.bias_toward(values, target, smaller_budget) is None
+
+
+class TestEmpiricalBounds:
+    def test_success_monotone_in_budget(self):
+        game = ThresholdCoinGame(k=64)
+        low = bias_success_probability(game, 0, 2, trials=500)
+        high = bias_success_probability(game, 0, 12, trials=500)
+        assert high >= low
+
+    def test_minimal_budget_within_lemma12(self):
+        game = ThresholdCoinGame(k=256)
+        budget = minimal_budget_for_success(
+            game, target=0, success_probability=0.75, trials=500
+        )
+        assert budget <= lemma12_budget(256, 0.25)
+
+    def test_budget_scales_like_sqrt_k(self):
+        points = sweep_lemma12([64, 1024], [0.25], trials=600)
+        small, large = points[0].measured_budget, points[1].measured_budget
+        # sqrt(1024/64) = 4: allow generous slack around the sqrt scaling.
+        assert 2 <= large / max(1, small) <= 8
+
+    def test_lemma12_budget_validation(self):
+        with pytest.raises(ValueError):
+            lemma12_budget(16, 0.9)
+        assert lemma12_budget(0, 0.25) == 0.0
+
+    def test_minimal_budget_validation(self):
+        game = ThresholdCoinGame(k=8)
+        with pytest.raises(ValueError):
+            minimal_budget_for_success(game, 0, 0.0)

@@ -1,0 +1,117 @@
+"""Tests for the adversary combinators."""
+
+import pytest
+
+from repro.adversary import (
+    RecordingAdversary,
+    SequentialAdversary,
+    SilenceAdversary,
+    StaticCrashAdversary,
+    ThrottledAdversary,
+    UnionAdversary,
+)
+from repro.runtime import ProcessEnv, SyncNetwork, SyncProcess
+
+
+class Babbler(SyncProcess):
+    def __init__(self, pid, n, rounds=8):
+        super().__init__(pid, n)
+        self.rounds = rounds
+        self.heard: list[set[int]] = []
+
+    def program(self, env: ProcessEnv):
+        for _ in range(self.rounds):
+            env.broadcast(("hi", self.pid))
+            inbox = yield
+            self.heard.append({message.sender for message in inbox})
+        env.decide("done")
+        return None
+
+
+def run(adversary, n=6, t=3, rounds=8, seed=0):
+    processes = [Babbler(pid, n, rounds) for pid in range(n)]
+    network = SyncNetwork(processes, adversary=adversary, t=t, seed=seed)
+    return network.run(), processes
+
+
+class TestSequential:
+    def test_stage_switch(self):
+        adversary = SequentialAdversary(
+            [SilenceAdversary([0]), SilenceAdversary([1])], boundaries=[4]
+        )
+        result, processes = run(adversary, t=2)
+        # Process 0 corrupted in stage 1; process 1 in stage 2.
+        listener = processes[5]
+        assert 0 not in listener.heard[1]
+        assert 1 in listener.heard[1]
+        assert 1 not in listener.heard[5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialAdversary([SilenceAdversary([0])], boundaries=[3])
+        with pytest.raises(ValueError):
+            SequentialAdversary(
+                [SilenceAdversary([0])] * 3, boundaries=[5, 5]
+            )
+
+
+class TestUnion:
+    def test_merges_corruptions_and_omissions(self):
+        adversary = UnionAdversary(
+            [SilenceAdversary([0]), SilenceAdversary([1])]
+        )
+        result, processes = run(adversary, t=2)
+        assert result.faulty == frozenset({0, 1})
+        listener = processes[5]
+        assert listener.heard[1].isdisjoint({0, 1})
+
+    def test_budget_shared(self):
+        adversary = UnionAdversary(
+            [SilenceAdversary([0, 1]), SilenceAdversary([2, 3])]
+        )
+        result, _ = run(adversary, t=3)
+        assert len(result.faulty) == 3
+
+    def test_dropped_corruption_cannot_omit(self):
+        """A strategy whose corruption was budget-dropped must not leave
+        illegal omissions behind (the engine would reject the action)."""
+        adversary = UnionAdversary(
+            [SilenceAdversary([0]), SilenceAdversary([1])]
+        )
+        result, _ = run(adversary, t=1)
+        assert result.faulty == frozenset({0})
+
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            UnionAdversary([])
+
+
+class TestThrottled:
+    def test_per_round_cap(self):
+        inner = SilenceAdversary([0, 1, 2])
+        recording = RecordingAdversary(ThrottledAdversary(inner, 1))
+        result, _ = run(recording, t=3)
+        per_round = [len(action.corrupt) for _, action in recording.actions]
+        assert max(per_round) <= 1
+        # SilenceAdversary only corrupts in round 0, so the throttle leaves
+        # just one victim corrupted in total.
+        assert result.faulty == frozenset({0})
+
+    def test_zero_cap_blocks_everything(self):
+        adversary = ThrottledAdversary(SilenceAdversary([0, 1]), 0)
+        result, _ = run(adversary, t=2)
+        assert result.faulty == frozenset()
+        assert result.metrics.messages_omitted == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ThrottledAdversary(SilenceAdversary([0]), -1)
+
+
+class TestRecording:
+    def test_records_every_round(self):
+        recording = RecordingAdversary(StaticCrashAdversary({2: [0]}))
+        result, _ = run(recording, t=1)
+        assert len(recording.actions) == result.metrics.rounds
+        assert recording.total_corruptions() == 1
+        assert recording.total_omissions() == result.metrics.messages_omitted

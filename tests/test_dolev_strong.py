@@ -1,0 +1,153 @@
+"""Tests for the Dolev-Strong-style chain consensus (baseline + fallback)."""
+
+import pytest
+
+from repro.adversary import (
+    RandomOmissionAdversary,
+    SilenceAdversary,
+    StaticCrashAdversary,
+)
+from repro.baselines.dolev_strong import (
+    DolevStrongProcess,
+    _valid_record,
+    dolev_strong_consensus,
+)
+from repro.runtime import ProcessEnv, SyncNetwork, SyncProcess
+
+
+def run_ds(inputs, t, adversary=None, seed=0):
+    n = len(inputs)
+    processes = [
+        DolevStrongProcess(pid, n, inputs[pid], t) for pid in range(n)
+    ]
+    network = SyncNetwork(processes, adversary=adversary, t=t, seed=seed)
+    return network.run(), processes
+
+
+class TestChainValidation:
+    def test_valid_first_round_record(self):
+        assert _valid_record((3, 1, (3,)), 1, sender=3, receiver=0)
+
+    def test_wrong_length_rejected(self):
+        assert not _valid_record((3, 1, (3,)), 2, sender=3, receiver=0)
+
+    def test_wrong_source_rejected(self):
+        assert not _valid_record((3, 1, (4,)), 1, sender=4, receiver=0)
+
+    def test_wrong_sender_rejected(self):
+        assert not _valid_record((3, 1, (3, 5)), 2, sender=6, receiver=0)
+
+    def test_duplicate_relayers_rejected(self):
+        assert not _valid_record((3, 1, (3, 3)), 2, sender=3, receiver=0)
+
+    def test_receiver_in_chain_rejected(self):
+        assert not _valid_record((3, 1, (3, 0)), 2, sender=0, receiver=0)
+
+    def test_non_binary_value_rejected(self):
+        assert not _valid_record((3, 7, (3,)), 1, sender=3, receiver=0)
+
+    def test_malformed_rejected(self):
+        assert not _valid_record("junk", 1, sender=0, receiver=1)
+        assert not _valid_record((1, 2), 1, sender=0, receiver=1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_unanimous(self, bit):
+        result, _ = run_ds([bit] * 9, t=2)
+        assert result.agreement_value() == bit
+
+    def test_majority_without_faults(self):
+        result, _ = run_ds([1, 1, 1, 0, 0], t=1)
+        assert result.agreement_value() == 1
+
+    def test_rounds_are_t_plus_one(self):
+        result, _ = run_ds([1] * 8, t=3)
+        assert result.time_to_agreement() == 5  # t+1 rounds + decide resume
+
+    def test_agreement_under_silence(self):
+        result, _ = run_ds(
+            [pid % 2 for pid in range(12)], t=3,
+            adversary=SilenceAdversary([0, 1, 2]),
+        )
+        assert result.agreement_value() in (0, 1)
+
+    def test_agreement_under_random_omissions(self):
+        for seed in range(3):
+            result, _ = run_ds(
+                [pid % 2 for pid in range(12)],
+                t=3,
+                adversary=RandomOmissionAdversary(0.5, seed=seed),
+                seed=seed,
+            )
+            assert result.agreement_value() in (0, 1)
+
+    def test_agreement_under_staggered_crashes(self):
+        result, _ = run_ds(
+            [pid % 2 for pid in range(12)],
+            t=4,
+            adversary=StaticCrashAdversary({0: [0], 1: [1], 2: [2], 3: [3]}),
+        )
+        assert result.agreement_value() in (0, 1)
+
+    def test_validity_with_faulty_minority_opposing(self):
+        """All non-faulty hold 1; the t faulty (holding 0) cannot outvote."""
+        inputs = [0] * 3 + [1] * 10
+        result, _ = run_ds(
+            inputs, t=3, adversary=RandomOmissionAdversary(0.3, seed=1)
+        )
+        assert result.agreement_value() == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            DolevStrongProcess(0, 4, 2, 1)
+        with pytest.raises(ValueError):
+            DolevStrongProcess(0, 4, 1, 4)
+
+
+class SubProtocolHarness(SyncProcess):
+    """Runs the generator form with a participation flag (fallback shape)."""
+
+    def __init__(self, pid, n, bit, t, participating):
+        super().__init__(pid, n)
+        self.bit = bit
+        self.t = t
+        self.participating = participating
+
+    def program(self, env: ProcessEnv):
+        decision = yield from dolev_strong_consensus(
+            env, self.t, self.bit, participating=self.participating
+        )
+        env.decide(decision)
+        return None
+
+
+class TestSubProtocol:
+    def test_non_participants_stay_silent_and_lockstep(self):
+        n, t = 8, 2
+        participating = [pid < 5 for pid in range(n)]
+        processes = [
+            SubProtocolHarness(pid, n, pid % 2, t, participating[pid])
+            for pid in range(n)
+        ]
+        network = SyncNetwork(processes, t=0, seed=1)
+        result = network.run()
+        participant_decisions = {
+            result.decisions[pid] for pid in range(5)
+        }
+        assert len(participant_decisions) == 1
+        for pid in range(5, n):
+            assert result.decisions[pid] is None
+
+    def test_silent_sources_resolve_consistently(self):
+        """Non-participating sources yield no accepted value anywhere, so
+        participants still agree."""
+        n, t = 6, 1
+        processes = [
+            SubProtocolHarness(pid, n, 1, t, participating=(pid != 0))
+            for pid in range(n)
+        ]
+        network = SyncNetwork(processes, t=0, seed=2)
+        result = network.run()
+        decisions = {result.decisions[pid] for pid in range(1, n)}
+        assert decisions == {1}

@@ -1,0 +1,114 @@
+"""Tests for the early-stopping variant of Algorithm 1."""
+
+import pytest
+
+from repro.adversary import (
+    SilenceAdversary,
+    StaticCrashAdversary,
+    VoteBalancingAdversary,
+)
+from repro.core import run_consensus, run_early_stopping_consensus
+from repro.params import ProtocolParams
+
+PARAMS = ProtocolParams.practical()
+
+
+def mixed(n):
+    return [pid % 2 for pid in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity(self, bit):
+        run = run_early_stopping_consensus([bit] * 48, t=1, seed=1)
+        assert run.decision == bit
+
+    def test_validity_zero_randomness(self):
+        run = run_early_stopping_consensus([1] * 48, t=1, seed=2)
+        assert run.metrics.random_bits == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agreement_balanced(self, seed):
+        run = run_early_stopping_consensus(mixed(64), t=2, seed=seed)
+        assert run.decision in (0, 1)
+
+    def test_agreement_under_silence(self):
+        n = 64
+        t = PARAMS.max_faults(n)
+        run = run_early_stopping_consensus(
+            mixed(n), t=t, adversary=SilenceAdversary(range(t)), seed=3
+        )
+        assert run.decision in (0, 1)
+
+    def test_agreement_under_balancer(self):
+        n = 96
+        t = PARAMS.max_faults(n)
+        run = run_early_stopping_consensus(
+            mixed(n), t=t, adversary=VoteBalancingAdversary(seed=4), seed=4
+        )
+        assert run.decision in (0, 1)
+
+    def test_agreement_under_staggered_crashes(self):
+        n = 64
+        t = PARAMS.max_faults(n)
+        run = run_early_stopping_consensus(
+            mixed(n),
+            t=t,
+            adversary=StaticCrashAdversary({7 * k: [k] for k in range(t)}),
+            seed=5,
+        )
+        assert run.decision in (0, 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_with_ready_suppression(self, seed):
+        """The silence adversary also suppresses faulty READY broadcasts,
+        so exit epochs can differ; agreement must survive the desync."""
+        n = 64
+        t = PARAMS.max_faults(n)
+        run = run_early_stopping_consensus(
+            [1] * n, t=t, adversary=SilenceAdversary(range(t)),
+            seed=100 + seed,
+        )
+        assert run.decision == 1
+
+
+class TestEarlyExit:
+    def test_unanimous_exits_after_first_epoch(self):
+        run = run_early_stopping_consensus([1] * 64, t=2, seed=6)
+        exits = {process.exited_epoch for process in run.processes}
+        assert exits == {0}
+
+    def test_unanimous_beats_fixed_budget(self):
+        fixed = run_consensus([1] * 64, t=2, seed=7)
+        adaptive = run_early_stopping_consensus([1] * 64, t=2, seed=7)
+        assert (
+            adaptive.result.time_to_agreement()
+            < fixed.result.time_to_agreement() / 2
+        )
+
+    def test_balanced_needs_more_epochs_than_unanimous(self):
+        unanimous = run_early_stopping_consensus([1] * 64, t=2, seed=8)
+        balanced = run_early_stopping_consensus(mixed(64), t=2, seed=8)
+        assert max(
+            p.exited_epoch for p in balanced.processes
+        ) >= max(p.exited_epoch for p in unanimous.processes)
+
+    def test_exit_epoch_exposed_and_bounded(self):
+        run = run_early_stopping_consensus(mixed(48), t=1, seed=9)
+        budget = run.processes[0].num_epochs
+        for process in run.processes:
+            assert process.exited_epoch is not None
+            assert 0 <= process.exited_epoch <= budget
+
+    def test_poll_adds_one_round_per_epoch(self):
+        process = run_early_stopping_consensus(
+            [1] * 48, t=1, seed=10
+        ).processes[0]
+        base = run_consensus([1] * 48, t=1, seed=10).processes[0]
+        assert process.epoch_rounds() == base.epoch_rounds() + 1
+
+    def test_time_metric_reflects_early_exit(self):
+        run = run_early_stopping_consensus([1] * 64, t=2, seed=11)
+        epoch_len = run.processes[0].epoch_rounds()
+        # One epoch + dissemination + decide resume, nothing more.
+        assert run.result.time_to_agreement() <= epoch_len + 3

@@ -1,0 +1,62 @@
+"""Every example script must at least compile and import its dependencies.
+
+Full example runs take minutes (they execute many consensus instances), so
+CI-speed coverage is: byte-compile each script and verify every module it
+imports from ``repro`` resolves.
+"""
+
+import ast
+import importlib
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[script.stem for script in SCRIPTS]
+)
+def test_example_compiles(script, tmp_path):
+    py_compile.compile(
+        str(script), cfile=str(tmp_path / (script.stem + ".pyc")), doraise=True
+    )
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[script.stem for script in SCRIPTS]
+)
+def test_example_repro_imports_resolve(script):
+    tree = ast.parse(script.read_text(encoding="utf-8"))
+    imported: set[tuple[str, tuple[str, ...]]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module.split(".")[0] == "repro":
+                imported.add(
+                    (node.module, tuple(alias.name for alias in node.names))
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    imported.add((alias.name, ()))
+    assert imported, f"{script.name} should exercise the repro API"
+    for module_name, names in imported:
+        module = importlib.import_module(module_name)
+        for name in names:
+            assert hasattr(module, name), (
+                f"{script.name}: {module_name} has no attribute {name}"
+            )
+
+
+def test_every_example_has_a_main():
+    for script in SCRIPTS:
+        text = script.read_text(encoding="utf-8")
+        assert 'if __name__ == "__main__":' in text, script.name
+
+
+def test_examples_readme_lists_every_script():
+    readme = (EXAMPLES_DIR / "README.md").read_text(encoding="utf-8")
+    for script in SCRIPTS:
+        assert script.name in readme, f"{script.name} missing from README"

@@ -1,0 +1,82 @@
+"""Tests for the repeated-consensus log API."""
+
+import pytest
+
+from repro.adversary import SilenceAdversary
+from repro.core import ConsensusLog
+
+
+class TestConstruction:
+    def test_defaults(self):
+        log = ConsensusLog(n=33)
+        assert log.t == 1
+        assert log.value_bits == 1
+
+    def test_rejects_bad_value_bits(self):
+        with pytest.raises(ValueError):
+            ConsensusLog(n=33, value_bits=0)
+
+    def test_rejects_wrong_proposal_count(self):
+        log = ConsensusLog(n=33)
+        with pytest.raises(ValueError):
+            log.append([1] * 5)
+
+
+class TestBinaryLog:
+    def test_slots_accumulate(self):
+        log = ConsensusLog(n=33, seed=1)
+        for slot in range(3):
+            entry = log.append([(pid + slot) % 2 for pid in range(33)])
+            assert entry.slot == slot
+            assert entry.value in (0, 1)
+        assert len(log.entries) == 3
+        assert log.totals()["slots"] == 3
+        assert log.totals()["rounds"] > 0
+
+    def test_consistency_invariant(self):
+        log = ConsensusLog(
+            n=33,
+            seed=2,
+            adversary_factory=lambda slot, n, t: SilenceAdversary([slot]),
+        )
+        for slot in range(3):
+            log.append([pid % 2 for pid in range(33)])
+        log.check_consistency()  # must not raise
+
+    def test_replica_view_masks_faulty_slots(self):
+        log = ConsensusLog(
+            n=33,
+            seed=3,
+            adversary_factory=lambda slot, n, t: SilenceAdversary([0]),
+        )
+        log.append([1] * 33)
+        view = log.replica_view(0)
+        assert view == [None]
+        healthy_view = log.replica_view(5)
+        assert healthy_view == [1]
+
+    def test_replica_view_validation(self):
+        log = ConsensusLog(n=33)
+        with pytest.raises(ValueError):
+            log.replica_view(99)
+
+    def test_validity_per_slot(self):
+        log = ConsensusLog(n=33, seed=4)
+        entry0 = log.append([0] * 33)
+        entry1 = log.append([1] * 33)
+        assert entry0.value == 0
+        assert entry1.value == 1
+        assert entry0.random_bits == 0 and entry1.random_bits == 0
+
+
+class TestMultiValuedLog:
+    def test_multivalued_slot(self):
+        log = ConsensusLog(n=33, value_bits=4, seed=5)
+        entry = log.append([7] * 33)
+        assert entry.value == 7
+
+    def test_multivalued_strong_validity(self):
+        log = ConsensusLog(n=33, value_bits=4, seed=6)
+        proposals = [(pid % 3) + 5 for pid in range(33)]
+        entry = log.append(proposals)
+        assert entry.value in proposals

@@ -1,0 +1,74 @@
+"""Unit tests for message bit accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import MESSAGE_OVERHEAD_BITS, Message, payload_bits
+
+
+class TestPayloadBits:
+    def test_none_and_bool(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_small_ints(self):
+        assert payload_bits(0) == 2  # 1 magnitude bit + sign
+        assert payload_bits(1) == 2
+        assert payload_bits(255) == 9
+        assert payload_bits(-255) == 9
+
+    def test_int_grows_logarithmically(self):
+        assert payload_bits(1 << 20) == 22
+
+    def test_float(self):
+        assert payload_bits(1.5) == 64
+
+    def test_strings_and_bytes(self):
+        assert payload_bits("ab") == 24
+        assert payload_bits(b"ab") == 24
+
+    def test_containers_sum_elements(self):
+        flat = payload_bits((1, 2, 3))
+        assert flat == 2 + sum(payload_bits(item) + 1 for item in (1, 2, 3))
+
+    def test_nested_containers(self):
+        nested = payload_bits(((1, 2), (3,)))
+        assert nested > payload_bits((1, 2)) + payload_bits((3,))
+
+    def test_dict(self):
+        assert payload_bits({1: 2}) == 2 + payload_bits(1) + payload_bits(2) + 1
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            payload_bits(object())
+
+    @given(st.integers())
+    def test_int_bits_positive_and_monotone_in_magnitude(self, value):
+        bits = payload_bits(value)
+        assert bits >= 2
+        assert bits >= payload_bits(value // 2) or abs(value) < 2
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), max_size=20)
+    )
+    def test_list_bits_superadditive(self, items):
+        """A container always costs at least the sum of its items."""
+        total = payload_bits(items)
+        assert total >= sum(payload_bits(item) for item in items)
+
+
+class TestMessage:
+    def test_auto_sizing_includes_overhead(self):
+        message = Message(0, 1, (1, 0))
+        assert message.bits == payload_bits((1, 0)) + MESSAGE_OVERHEAD_BITS
+
+    def test_explicit_bits_respected(self):
+        message = Message(0, 1, "ignored", bits=5)
+        assert message.bits == 5
+
+    def test_fields(self):
+        message = Message(3, 7, "x")
+        assert message.sender == 3
+        assert message.recipient == 7
+        assert message.payload == "x"

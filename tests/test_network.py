@@ -1,0 +1,268 @@
+"""Engine tests: lockstep delivery, adversary legality, metrics, results.
+
+Uses small scripted processes rather than the real protocols, so each engine
+behaviour is exercised in isolation.
+"""
+
+import pytest
+
+from repro.runtime import (
+    Adversary,
+    AdversaryAction,
+    AdversaryProtocolError,
+    LockstepError,
+    ProcessEnv,
+    SyncNetwork,
+    SyncProcess,
+)
+
+
+class EchoOnce(SyncProcess):
+    """Round 0: broadcast own pid; round 1: record inbox; decide."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.heard: list[int] = []
+
+    def program(self, env: ProcessEnv):
+        env.broadcast(("pid", self.pid))
+        inbox = yield
+        self.heard = sorted(message.payload[1] for message in inbox)
+        env.decide(tuple(self.heard))
+        return None
+
+
+class Chatter(SyncProcess):
+    """Broadcasts every round for a fixed number of rounds; never decides."""
+
+    def __init__(self, pid: int, n: int, rounds: int) -> None:
+        super().__init__(pid, n)
+        self.rounds = rounds
+
+    def program(self, env: ProcessEnv):
+        for round_no in range(self.rounds):
+            env.broadcast(("r", round_no))
+            yield
+        env.decide("done")
+        return None
+
+
+class SelfTalker(SyncProcess):
+    def program(self, env: ProcessEnv):
+        env.send(self.pid, "hello me")
+        inbox = yield
+        env.decide(len(inbox))
+        return None
+
+
+def test_all_to_all_delivery():
+    n = 5
+    network = SyncNetwork([EchoOnce(pid, n) for pid in range(n)])
+    result = network.run()
+    for pid in range(n):
+        expected = tuple(sorted(set(range(n)) - {pid}))
+        assert result.decisions[pid] == expected
+
+
+def test_inbox_sorted_by_sender():
+    n = 4
+    processes = [EchoOnce(pid, n) for pid in range(n)]
+    network = SyncNetwork(processes)
+    network.run()
+    for process in processes:
+        assert process.heard == sorted(process.heard)
+
+
+def test_self_messages_delivered():
+    network = SyncNetwork([SelfTalker(0, 1)])
+    result = network.run()
+    assert result.decisions[0] == 1
+
+
+def test_metrics_counts_messages_and_rounds():
+    n = 3
+    network = SyncNetwork([Chatter(pid, n, rounds=4) for pid in range(n)])
+    result = network.run()
+    # 4 rounds of n*(n-1) broadcasts, plus the final decide-advance round.
+    assert result.metrics.messages_sent == 4 * n * (n - 1)
+    assert result.metrics.messages_delivered == result.metrics.messages_sent
+    assert result.metrics.bits_sent > 0
+    assert result.rounds >= 4
+
+
+def test_decision_rounds_recorded():
+    n = 3
+    network = SyncNetwork([Chatter(pid, n, rounds=2) for pid in range(n)])
+    result = network.run()
+    assert set(result.decision_rounds) == {0, 1, 2}
+    assert result.time_to_agreement() == max(result.decision_rounds.values()) + 1
+
+
+def test_max_rounds_enforced():
+    class Forever(SyncProcess):
+        def program(self, env):
+            while True:
+                yield
+
+    network = SyncNetwork([Forever(0, 1)], max_rounds=10)
+    with pytest.raises(LockstepError):
+        network.run()
+
+
+def test_pid_position_mismatch_rejected():
+    with pytest.raises(ValueError):
+        SyncNetwork([EchoOnce(1, 2), EchoOnce(0, 2)])
+
+
+def test_process_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        SyncNetwork([EchoOnce(0, 3)])
+
+
+def test_invalid_fault_budget_rejected():
+    with pytest.raises(ValueError):
+        SyncNetwork([EchoOnce(0, 1)], t=1)
+
+
+class CorruptAndOmitAll(Adversary):
+    """Corrupts process 0 in round 0 and omits everything it sends."""
+
+    def act(self, view):
+        corrupt = frozenset({0}) if view.round == 0 else frozenset()
+        return AdversaryAction(
+            corrupt=corrupt,
+            omit=view.message_indices_from({0}),
+        )
+
+
+def test_omissions_silence_faulty_sender():
+    n = 3
+    processes = [EchoOnce(pid, n) for pid in range(n)]
+    network = SyncNetwork(processes, adversary=CorruptAndOmitAll(), t=1)
+    result = network.run()
+    assert result.faulty == frozenset({0})
+    assert result.decisions[1] == (2,)
+    assert result.decisions[2] == (1,)
+    # Process 0 still hears the others (only ITS messages were dropped).
+    assert result.decisions[0] == (1, 2)
+    assert result.metrics.messages_omitted == 2
+
+
+class OverBudget(Adversary):
+    def act(self, view):
+        if view.round == 0:
+            return AdversaryAction(corrupt=frozenset({0, 1}))
+        return AdversaryAction.nothing()
+
+
+def test_corruption_budget_enforced():
+    network = SyncNetwork(
+        [EchoOnce(pid, 3) for pid in range(3)], adversary=OverBudget(), t=1
+    )
+    with pytest.raises(AdversaryProtocolError):
+        network.run()
+
+
+class IllegalOmission(Adversary):
+    def act(self, view):
+        if view.messages:
+            return AdversaryAction(omit=frozenset({0}))
+        return AdversaryAction.nothing()
+
+
+def test_omission_requires_faulty_endpoint():
+    network = SyncNetwork(
+        [EchoOnce(pid, 2) for pid in range(2)], adversary=IllegalOmission(), t=1
+    )
+    with pytest.raises(AdversaryProtocolError):
+        network.run()
+
+
+class OutOfRangeOmission(Adversary):
+    def act(self, view):
+        return AdversaryAction(omit=frozenset({10_000}))
+
+
+def test_omission_index_validated():
+    network = SyncNetwork(
+        [EchoOnce(pid, 2) for pid in range(2)],
+        adversary=OutOfRangeOmission(),
+        t=1,
+    )
+    with pytest.raises(AdversaryProtocolError):
+        network.run()
+
+
+def test_agreement_value_detects_disagreement():
+    class DecideOwnPid(SyncProcess):
+        def program(self, env):
+            env.decide(self.pid)
+            return None
+            yield  # pragma: no cover
+
+    network = SyncNetwork([DecideOwnPid(pid, 2) for pid in range(2)])
+    result = network.run()
+    with pytest.raises(AssertionError, match="agreement violated"):
+        result.agreement_value()
+
+
+def test_agreement_value_detects_non_termination():
+    class Silent(SyncProcess):
+        def program(self, env):
+            yield
+            return None
+
+    network = SyncNetwork([Silent(pid, 2) for pid in range(2)])
+    result = network.run()
+    with pytest.raises(AssertionError, match="termination violated"):
+        result.agreement_value()
+
+
+def test_final_round_sends_are_delivered():
+    """Messages queued just before a process returns still go out."""
+
+    class LastWord(SyncProcess):
+        def program(self, env):
+            if self.pid == 0:
+                yield
+                env.broadcast("bye")
+                env.decide("sender")
+                return None
+            inbox = yield
+            inbox = yield
+            env.decide([m.payload for m in inbox])
+            return None
+
+    network = SyncNetwork([LastWord(pid, 2) for pid in range(2)])
+    result = network.run()
+    assert result.decisions[1] == ["bye"]
+
+
+def test_randomness_metered_into_result():
+    class Flipper(SyncProcess):
+        def program(self, env):
+            env.random.bit()
+            env.random.bits(7)
+            env.decide(0)
+            return None
+            yield  # pragma: no cover
+
+    network = SyncNetwork([Flipper(0, 1)], seed=5)
+    result = network.run()
+    assert result.metrics.random_calls == 2
+    assert result.metrics.random_bits == 8
+    assert result.randomness_per_process == [(2, 8)]
+
+
+def test_runs_reproducible_for_same_seed():
+    def run_once():
+        class Flip(SyncProcess):
+            def program(self, env):
+                env.decide(env.random.bits(32))
+                return None
+                yield  # pragma: no cover
+
+        network = SyncNetwork([Flip(pid, 3) for pid in range(3)], seed=11)
+        return network.run().decisions
+
+    assert run_once() == run_once()

@@ -1,0 +1,128 @@
+"""Tests for the sqrt(n)-decomposition and the binary bag trees (Figure 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    BagTree,
+    cached_bag_tree,
+    cached_sqrt_partition,
+    global_stage_count,
+    sqrt_partition,
+)
+
+
+class TestSqrtPartition:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            sqrt_partition(0)
+
+    def test_singleton(self):
+        partition = sqrt_partition(1)
+        assert partition.groups == ((0,),)
+
+    def test_perfect_square(self):
+        partition = sqrt_partition(16)
+        assert partition.group_count == 4
+        assert all(len(group) == 4 for group in partition.groups)
+
+    @given(st.integers(min_value=1, max_value=3000))
+    def test_partition_invariants(self, n):
+        partition = sqrt_partition(n)
+        side = math.isqrt(n)
+        if side * side < n:
+            side += 1
+        # Paper's shape: ceil(sqrt n) groups of size <= ceil(sqrt n).
+        assert partition.group_count == side
+        assert all(1 <= len(group) <= side for group in partition.groups)
+        # Disjoint cover of range(n).
+        seen = [pid for group in partition.groups for pid in group]
+        assert sorted(seen) == list(range(n))
+        # group_of is consistent.
+        for index, group in enumerate(partition.groups):
+            for pid in group:
+                assert partition.group_index_of(pid) == index
+
+    @given(st.integers(min_value=2, max_value=3000))
+    def test_groups_balanced_within_one(self, n):
+        partition = sqrt_partition(n)
+        sizes = [len(group) for group in partition.groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cache_returns_same_object(self):
+        assert cached_sqrt_partition(100) is cached_sqrt_partition(100)
+
+
+class TestBagTree:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BagTree(())
+
+    def test_singleton_tree(self):
+        tree = BagTree((7,))
+        assert tree.num_stages == 0
+        assert tree.layers[0] == [(7,)]
+
+    def test_binary_structure(self):
+        tree = BagTree((10, 11, 12, 13, 14))
+        assert tree.num_stages == 3
+        assert tree.layers[0] == [(10,), (11,), (12,), (13,), (14,)]
+        assert tree.layers[1] == [(10, 11), (12, 13), (14,)]
+        assert tree.layers[2] == [(10, 11, 12, 13), (14,)]
+        assert tree.layers[3] == [(10, 11, 12, 13, 14)]
+
+    def test_root_is_whole_group(self):
+        members = tuple(range(100, 117))
+        tree = BagTree(members)
+        assert tree.layers[-1] == [members]
+
+    def test_bag_index(self):
+        tree = BagTree((0, 1, 2, 3))
+        assert tree.bag_index(0, 2) == 2
+        assert tree.bag_index(1, 2) == 1
+        assert tree.bag_index(2, 3) == 0
+
+    def test_child_indices(self):
+        tree = BagTree((0, 1, 2, 3, 4))
+        assert tree.child_indices(1, 0) == (0, 1)
+        assert tree.child_indices(1, 2) == (4, None)
+        with pytest.raises(ValueError):
+            tree.child_indices(0, 0)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_layers_partition_members(self, size):
+        members = tuple(range(size))
+        tree = BagTree(members)
+        for layer in tree.layers:
+            flattened = [pid for bag in layer for pid in bag]
+            assert sorted(flattened) == list(members)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_parent_is_union_of_children(self, size):
+        tree = BagTree(tuple(range(size)))
+        for layer_index in range(1, len(tree.layers)):
+            for bag_index, bag in enumerate(tree.layers[layer_index]):
+                left, right = tree.child_indices(layer_index, bag_index)
+                expected = tree.layers[layer_index - 1][left]
+                if right is not None:
+                    expected = expected + tree.layers[layer_index - 1][right]
+                assert bag == expected
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_height_logarithmic(self, size):
+        tree = BagTree(tuple(range(size)))
+        assert tree.num_stages == max(0, (size - 1).bit_length())
+
+    def test_cached_tree(self):
+        assert cached_bag_tree((1, 2, 3)) is cached_bag_tree((1, 2, 3))
+
+
+class TestGlobalStageCount:
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_covers_every_group(self, n):
+        partition = cached_sqrt_partition(n)
+        stages = global_stage_count(partition)
+        for group in partition.groups:
+            assert cached_bag_tree(group).num_stages <= stages

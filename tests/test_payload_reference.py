@@ -1,0 +1,74 @@
+"""Differential test: the optimized payload_bits vs a reference model.
+
+``payload_bits`` was rewritten with exact-type fast paths for performance;
+this module keeps the original recursive definition as an executable
+specification and checks the two agree on generated payloads.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime import payload_bits
+
+
+def reference_payload_bits(payload):
+    """The original (slow, obviously-correct) recursive definition."""
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload) + 8
+    if isinstance(payload, (bytes, bytearray)):
+        return 8 * len(payload) + 8
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return 2 + sum(reference_payload_bits(item) + 1 for item in payload)
+    if isinstance(payload, dict):
+        return 2 + sum(
+            reference_payload_bits(key) + reference_payload_bits(value) + 1
+            for key, value in payload.items()
+        )
+    raise TypeError(type(payload))
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.lists(children, max_size=6).map(tuple),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=100), children, max_size=4
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+@given(payloads)
+def test_optimized_matches_reference(payload):
+    assert payload_bits(payload) == reference_payload_bits(payload)
+
+
+@given(st.lists(st.integers(min_value=-(2**60), max_value=2**60), max_size=30))
+def test_int_list_fast_path(items):
+    assert payload_bits(tuple(items)) == reference_payload_bits(tuple(items))
+
+
+@given(st.sets(st.integers(min_value=0, max_value=1000), max_size=10))
+def test_sets_match(items):
+    assert payload_bits(items) == reference_payload_bits(items)
+    assert payload_bits(frozenset(items)) == reference_payload_bits(
+        frozenset(items)
+    )

@@ -1,0 +1,84 @@
+"""Tests for JSON serialization of results and traces."""
+
+import json
+
+import pytest
+
+from repro.adversary import SilenceAdversary
+from repro.core import build_processes, run_consensus
+from repro.runtime import (
+    SyncNetwork,
+    TraceRecorder,
+    load_result,
+    metrics_from_dict,
+    metrics_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    trace_to_dict,
+)
+
+
+def sample_result():
+    return run_consensus(
+        [pid % 2 for pid in range(36)],
+        t=1,
+        adversary=SilenceAdversary([0]),
+        seed=1,
+    ).result
+
+
+class TestMetricsRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        metrics = sample_result().metrics
+        rebuilt = metrics_from_dict(metrics_to_dict(metrics))
+        assert rebuilt.summary() == metrics.summary()
+        assert rebuilt.messages_per_round == metrics.messages_per_round
+        assert rebuilt.bits_per_round == metrics.bits_per_round
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip(self):
+        result = sample_result()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.n == result.n
+        assert rebuilt.decisions == result.decisions
+        assert rebuilt.faulty == result.faulty
+        assert rebuilt.decision_rounds == result.decision_rounds
+        assert rebuilt.randomness_per_process == result.randomness_per_process
+        assert rebuilt.agreement_value() == result.agreement_value()
+        assert rebuilt.time_to_agreement() == result.time_to_agreement()
+
+    def test_json_serializable(self):
+        payload = json.dumps(result_to_dict(sample_result()))
+        assert "decisions" in payload
+
+    def test_file_round_trip(self, tmp_path):
+        result = sample_result()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        assert rebuilt.agreement_value() == result.agreement_value()
+        assert rebuilt.metrics.bits_sent == result.metrics.bits_sent
+
+    def test_version_checked(self):
+        data = result_to_dict(sample_result())
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(data)
+
+
+class TestTraceSerialization:
+    def test_trace_to_dict_json_safe(self):
+        processes = build_processes([1] * 33, t=1)
+        recorder = TraceRecorder(sample_every=4)
+        network = recorder.attach(
+            SyncNetwork(processes, adversary=SilenceAdversary([0]), t=1, seed=2)
+        )
+        network.run()
+        data = trace_to_dict(recorder)
+        payload = json.dumps(data)
+        assert "newly_corrupted" in payload
+        assert len(data["rounds"]) == len(recorder.rounds)
+        first = data["rounds"][0]
+        assert first["newly_corrupted"] == [0]

@@ -1,0 +1,72 @@
+"""Tests for the Talagrand-inequality numeric verification (Theorem 6)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbound import (
+    binomial_tail_geq,
+    binomial_tail_lt,
+    check_threshold_point,
+    verify_threshold_inequality,
+)
+
+
+class TestBinomialTails:
+    def test_exact_small_cases(self):
+        assert binomial_tail_geq(2, 0) == 1.0
+        assert binomial_tail_geq(2, 1) == 0.75
+        assert binomial_tail_geq(2, 2) == 0.25
+        assert binomial_tail_geq(2, 3) == 0.0
+
+    def test_lt_complements_geq(self):
+        for k in (5, 12):
+            for s in range(k + 1):
+                assert math.isclose(
+                    binomial_tail_lt(k, s) + binomial_tail_geq(k, s), 1.0
+                )
+
+    def test_lt_fractional_threshold(self):
+        # Pr[Bin < 1.5] == Pr[Bin <= 1].
+        assert math.isclose(
+            binomial_tail_lt(4, 1.5), binomial_tail_lt(4, 2.0)
+        )
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_median_mass(self, k):
+        assert binomial_tail_geq(k, (k + 1) // 2 + 1) <= 0.5 + 1e-12
+
+
+class TestInequality:
+    def test_single_point(self):
+        check = check_threshold_point(64, 40, 1.0)
+        assert check.holds
+        assert check.lhs <= check.rhs
+
+    def test_grid_has_no_violations(self):
+        checks = verify_threshold_inequality(
+            [8, 32, 128, 512], [0.25, 0.5, 1.0, 2.0, 4.0]
+        )
+        assert checks, "grid must be non-empty"
+        violations = [check for check in checks if not check.holds]
+        assert violations == []
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=0, max_value=400),
+        st.floats(min_value=0.0, max_value=8.0),
+    )
+    def test_inequality_property(self, k, s, t):
+        """Theorem 6 instantiated on threshold sets holds everywhere."""
+        if s > k:
+            s = k
+        check = check_threshold_point(k, s, t)
+        assert check.holds
+
+    def test_tight_regime_is_nontrivial(self):
+        """At the mean with small t both sides are meaningfully large, so
+        the check is not vacuous."""
+        check = check_threshold_point(100, 50, 0.5)
+        assert check.lhs > 0.05
+        assert check.rhs < 1.0

@@ -1,0 +1,97 @@
+"""Tests for the valency classifier (Lemma-13 machinery)."""
+
+import pytest
+
+from repro.lowerbound import (
+    DISAGREEMENT,
+    FloodMinProtocol,
+    MajorityRoundsProtocol,
+    classify_all_inputs,
+    reachable_outcomes,
+)
+
+
+class TestFloodMin:
+    def test_unanimous_inputs_univalent(self):
+        protocol = FloodMinProtocol(n=3, max_rounds=2)
+        assert reachable_outcomes(protocol, (0, 0, 0), t=1) == frozenset({0})
+        assert reachable_outcomes(protocol, (1, 1, 1), t=1) == frozenset({1})
+
+    def test_correct_with_t_plus_one_rounds(self):
+        """Flood-min with rounds = t+1 never violates agreement (classic)."""
+        protocol = FloodMinProtocol(n=3, max_rounds=2)
+        report = classify_all_inputs(protocol, t=1)
+        assert report.broken() == []
+
+    def test_lemma13_witness_exists(self):
+        """Some initial state is not uni-valent — the adversary picks the
+        outcome (Lemma 13)."""
+        protocol = FloodMinProtocol(n=3, max_rounds=2)
+        report = classify_all_inputs(protocol, t=1)
+        witness = report.lemma13_witness()
+        assert witness is not None
+        assert witness in report.bivalent()
+
+    def test_breaks_with_t_rounds(self):
+        """With only t rounds the crash-round message splits create
+        disagreement — t+1 rounds are necessary."""
+        protocol = FloodMinProtocol(n=3, max_rounds=1)
+        report = classify_all_inputs(protocol, t=1)
+        broken = report.broken()
+        assert broken != []
+        for inputs in broken:
+            assert DISAGREEMENT in report.outcomes[inputs]
+
+    def test_no_faults_no_choice(self):
+        protocol = FloodMinProtocol(n=3, max_rounds=2)
+        for inputs in ((0, 1, 1), (1, 0, 1)):
+            assert reachable_outcomes(protocol, inputs, t=0) == frozenset({0})
+
+    def test_four_processes_two_faults(self):
+        protocol = FloodMinProtocol(n=4, max_rounds=3)
+        outcomes = reachable_outcomes(protocol, (0, 1, 1, 1), t=2)
+        assert outcomes == frozenset({0, 1})
+
+
+class TestMajorityRounds:
+    def test_unanimity_preserved(self):
+        protocol = MajorityRoundsProtocol(n=3, max_rounds=2)
+        assert reachable_outcomes(protocol, (1, 1, 1), t=1) == frozenset({1})
+
+    def test_naive_majority_is_breakable(self):
+        """One-round majority without any defence is not consensus: a
+        crash-round partial delivery splits the tie-breaks."""
+        protocol = MajorityRoundsProtocol(n=3, max_rounds=1)
+        report = classify_all_inputs(protocol, t=1)
+        assert report.broken() != []
+
+    def test_extra_rounds_repair_three_processes(self):
+        """With n=3, t=1 and two rounds, any crash-free round re-unifies the
+        system, so the exhaustive search certifies safety — the budget is
+        what limits the adversary, exactly as in the paper's amortized
+        analysis."""
+        protocol = MajorityRoundsProtocol(n=3, max_rounds=2)
+        report = classify_all_inputs(protocol, t=1)
+        assert report.broken() == []
+
+
+class TestValidation:
+    def test_input_length_checked(self):
+        protocol = FloodMinProtocol(n=3, max_rounds=2)
+        with pytest.raises(ValueError):
+            reachable_outcomes(protocol, (0, 1), t=1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FloodMinProtocol(n=0, max_rounds=1)
+        with pytest.raises(ValueError):
+            FloodMinProtocol(n=2, max_rounds=0)
+
+    def test_report_accessors(self):
+        protocol = FloodMinProtocol(n=2, max_rounds=2)
+        report = classify_all_inputs(protocol, t=1)
+        # With t = n-1... t=1, n=2: crashing one process leaves the other's
+        # value as the outcome; mixed inputs are bivalent.
+        assert (0, 0) in report.univalent(0)
+        assert (1, 1) in report.univalent(1)
+        assert set(report.bivalent()) <= {(0, 1), (1, 0)}

@@ -1,0 +1,118 @@
+"""Tests for the biased-majority vote rule (Algorithm 1 lines 9-12)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import apply_vote_rule
+from repro.params import ProtocolParams
+from repro.runtime import CountingRandom
+
+PARAMS = ProtocolParams.practical()
+
+
+def vote(ones, zeros, seed=0):
+    return apply_vote_rule(ones, zeros, PARAMS, CountingRandom(seed))
+
+
+class TestDeterministicBands:
+    def test_strong_majority_one(self):
+        outcome = vote(19, 11)
+        assert outcome.bit == 1
+        assert not outcome.used_coin
+        assert not outcome.decided
+
+    def test_strong_majority_zero(self):
+        outcome = vote(14, 16)
+        assert outcome.bit == 0
+        assert not outcome.used_coin
+
+    def test_decide_band_high(self):
+        outcome = vote(28, 2)
+        assert outcome.bit == 1
+        assert outcome.decided
+
+    def test_decide_band_low(self):
+        outcome = vote(2, 28)
+        assert outcome.bit == 0
+        assert outcome.decided
+
+    def test_middle_band_uses_coin(self):
+        outcome = vote(16, 14)
+        assert outcome.used_coin
+        assert outcome.bit in (0, 1)
+        assert not outcome.decided
+
+    def test_exact_half_uses_coin(self):
+        # ones == 15/30 is not < 15/30, and not > 18/30: coin flip.
+        outcome = vote(15, 15)
+        assert outcome.used_coin
+
+    def test_blackout_uses_coin(self):
+        outcome = vote(0, 0)
+        assert outcome.used_coin
+        assert not outcome.decided
+
+
+class TestRandomnessAccounting:
+    def test_coin_costs_exactly_one_bit(self):
+        source = CountingRandom(1)
+        apply_vote_rule(16, 14, PARAMS, source)
+        assert source.calls == 1
+        assert source.bits_drawn == 1
+
+    def test_deterministic_bands_cost_nothing(self):
+        source = CountingRandom(1)
+        apply_vote_rule(25, 5, PARAMS, source)
+        apply_vote_rule(5, 25, PARAMS, source)
+        assert source.calls == 0
+
+
+class TestVoteRuleProperties:
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=0, max_value=2000),
+    )
+    def test_output_always_valid(self, ones, zeros):
+        outcome = vote(ones, zeros)
+        assert outcome.bit in (0, 1)
+        if outcome.decided:
+            assert not outcome.used_coin
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_unanimous_counts_never_flip(self, total):
+        """Validity backbone: unanimous operative counts deterministically
+        keep the common value and decide."""
+        outcome_one = vote(total, 0)
+        assert outcome_one.bit == 1
+        assert outcome_one.decided
+        outcome_zero = vote(0, total)
+        assert outcome_zero.bit == 0
+        assert outcome_zero.decided
+
+    @given(
+        st.integers(min_value=0, max_value=900),
+        st.integers(min_value=0, max_value=900),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_perturbed_views_never_deterministically_split(
+        self, ones, zeros, perturbation
+    ):
+        """Two operative processes whose counts differ by at most the
+        inoperative perturbation (< 1/10 of the total) can never adopt
+        opposite bits deterministically — the Figure-3 gap property."""
+        total = ones + zeros
+        if total == 0:
+            return
+        # Second view: the perturbation removes up to `perturbation` counted
+        # values, bounded by the protocol's tolerated fraction.
+        bound = total // 10
+        shift = min(perturbation, bound, ones)
+        other_ones = ones - shift
+        other_zeros = zeros
+        first = vote(ones, zeros, seed=1)
+        second = vote(other_ones, other_zeros, seed=2)
+        deterministic_split = (
+            not first.used_coin
+            and not second.used_coin
+            and first.bit != second.bit
+        )
+        assert not deterministic_split
