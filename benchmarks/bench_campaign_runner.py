@@ -1,0 +1,95 @@
+"""E-CR — the campaign execution engine and the adversary-view hot path.
+
+Two substrate-level properties behind every other benchmark's numbers:
+
+* the parallel campaign runner is a pure fan-out — ``jobs=N`` produces
+  records byte-identical to a serial sweep, merely finishing sooner;
+* the :class:`NetworkView` message indexes answer the adversary's
+  per-round queries from a once-per-round index instead of O(m) rescans,
+  and agree exactly with the naive definition.
+"""
+
+import json
+
+from conftest import print_series
+
+from repro.analysis.campaign import CampaignSpec, run_campaign
+from repro.runtime import Message, NetworkView
+
+SPEC = CampaignSpec(
+    name="bench-campaign",
+    protocol="algorithm1",
+    ns=[33, 48],
+    adversaries=["none", "silence"],
+    seeds=[0],
+)
+
+
+def test_parallel_campaign_matches_serial(benchmark):
+    serial = run_campaign(SPEC, jobs=1)
+    fanned = benchmark.pedantic(
+        lambda: run_campaign(SPEC, jobs=2), rounds=1, iterations=1
+    )
+    assert json.dumps(fanned, sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    )
+    print_series(
+        "parallel campaign (jobs=2) vs serial — identical records",
+        ["protocol", "n", "adversary", "seed", "rounds", "bits"],
+        [
+            [r["protocol"], r["n"], r["adversary"], r["seed"], r["rounds"],
+             r["bits"]]
+            for r in fanned
+        ],
+    )
+
+
+def _dense_view(n: int) -> NetworkView:
+    messages = [
+        Message(sender, recipient, ("payload", sender))
+        for sender in range(n)
+        for recipient in range(n)
+        if sender != recipient
+    ]
+    return NetworkView(
+        round_no=0,
+        processes=[],
+        messages=messages,
+        faulty=frozenset(),
+        budget_left=0,
+        decisions={},
+        terminated=frozenset(),
+    )
+
+
+def test_view_index_hot_path(benchmark):
+    """Indexed lookups match the naive O(m) definition on dense traffic."""
+    n = 64
+    view = _dense_view(n)
+
+    def workload():
+        # One adversary round's worth of queries: every singleton plus a
+        # handful of larger target sets.
+        total = 0
+        for pid in range(n):
+            total += len(view.message_indices_touching({pid}))
+        for width in (2, 4, 8, 16):
+            total += len(view.message_indices_from(range(width)))
+            total += len(view.message_indices_to(range(width)))
+        return total
+
+    total = benchmark.pedantic(workload, rounds=1, iterations=1)
+    messages = view.messages
+    for pid in (0, n // 2, n - 1):
+        naive = frozenset(
+            index
+            for index, message in enumerate(messages)
+            if pid in (message.sender, message.recipient)
+        )
+        assert view.message_indices_touching({pid}) == naive
+    assert total > 0
+    print_series(
+        f"view-index queries over {len(messages)} messages",
+        ["n", "messages", "query hits"],
+        [[n, len(messages), total]],
+    )

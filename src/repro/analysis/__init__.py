@@ -16,7 +16,10 @@ from .experiments import (
 )
 from .campaign import (
     CampaignSpec,
+    append_journal_record,
     load_campaign,
+    load_journal,
+    record_cell_key,
     run_campaign,
     save_campaign,
     summarize_campaign,
@@ -58,7 +61,10 @@ __all__ = [
     "render_table",
     "table1",
     "CampaignSpec",
+    "append_journal_record",
     "load_campaign",
+    "load_journal",
+    "record_cell_key",
     "run_campaign",
     "save_campaign",
     "summarize_campaign",

@@ -1,9 +1,9 @@
-"""Batch experiment campaigns: grid sweeps with JSON persistence.
+"""Batch experiment campaigns: parallel grid sweeps with crash-safe resume.
 
 For overnight parameter studies: declare a grid over (protocol, n,
-adversary, seeds), run it, and persist one JSON record per run (via the
-substrate's serialization helpers), so the analysis can happen offline and
-re-runs can resume where they stopped.
+adversary, seeds), run it — optionally across a ``multiprocessing`` worker
+pool — and persist one JSON record per run, so the analysis can happen
+offline and re-runs can resume where they stopped.
 
 A campaign *spec* is data, not code::
 
@@ -15,16 +15,32 @@ A campaign *spec* is data, not code::
         seeds=[0, 1, 2],
         options={"x": 4},                 # protocol-specific extras
     )
-    records = run_campaign(spec)
+    records = run_campaign(spec, jobs=4, journal="scaling-study.jsonl")
     save_campaign(records, "scaling-study.json")
+
+Two persistence layers:
+
+* the **journal** (append-only JSONL, one record per line) is written as
+  each cell finishes, flushed and fsynced, so a crashed or interrupted
+  sweep resumes from disk via ``load_journal`` — only missing cells re-run;
+* ``save_campaign`` writes the conventional pretty JSON array once the
+  whole grid is done.
+
+Grid cells are pure functions of the spec and their (n, adversary, seed)
+coordinates — each worker reruns the cell from its seeds — so a parallel
+run produces records identical to a serial one, merely finishing in a
+different wall-clock order.  ``run_campaign`` always returns records in
+grid order regardless of completion order.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import multiprocessing
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from ..adversary import (
     RandomOmissionAdversary,
@@ -47,6 +63,27 @@ ADVERSARY_FACTORIES = {
 }
 
 PROTOCOLS = ("algorithm1", "tradeoff", "early-stopping")
+
+
+def _options_key(options: dict[str, Any]) -> str:
+    """Canonical string form of a spec's options, for cell identity."""
+    return json.dumps(options, sort_keys=True, separators=(",", ":"))
+
+
+def record_cell_key(record: dict[str, Any]) -> tuple:
+    """The identity under which a finished record can satisfy a grid cell.
+
+    Includes the options (e.g. the tradeoff ``x``): two sweeps that differ
+    only in options must never silently reuse each other's records.
+    Records written before options were stored count as empty options.
+    """
+    return (
+        record["protocol"],
+        record["n"],
+        record["adversary"],
+        record["seed"],
+        _options_key(record.get("options", {})),
+    )
 
 
 @dataclass(frozen=True)
@@ -79,6 +116,10 @@ class CampaignSpec:
                 for seed in self.seeds:
                     yield n, adversary, seed
 
+    def cell_key(self, n: int, adversary: str, seed: int) -> tuple:
+        """Identity of one cell — must match :func:`record_cell_key`."""
+        return (self.protocol, n, adversary, seed, _options_key(self.options))
+
 
 def _run_cell(
     spec: CampaignSpec, n: int, adversary_name: str, seed: int
@@ -110,6 +151,7 @@ def _run_cell(
         "t": t,
         "adversary": adversary_name,
         "seed": seed,
+        "options": dict(spec.options),
         "decision": run.decision,
         "rounds": run.result.time_to_agreement(),
         "messages": metrics.messages_sent,
@@ -130,27 +172,106 @@ def _run_cell(
     return record
 
 
+def _run_cell_task(
+    task: tuple[CampaignSpec, int, str, int]
+) -> tuple[tuple[int, str, int], dict[str, Any]]:
+    """Worker entry point: run one cell, echo its grid coordinates back."""
+    spec, n, adversary, seed = task
+    return (n, adversary, seed), _run_cell(spec, n, adversary, seed)
+
+
+def _start_method() -> str:
+    """Prefer ``fork`` (cheap, inherits sys.path) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def append_journal_record(path: str | Path, record: dict[str, Any]) -> None:
+    """Append one record to a JSONL journal, flushed and fsynced.
+
+    Each record is a single ``sort_keys`` JSON line, so the journal is both
+    greppable and byte-stable for a given record content.
+    """
+    line = json.dumps(record, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_journal(path: str | Path) -> list[dict[str, Any]]:
+    """Read records from a JSONL journal written by the campaign runner.
+
+    Tolerates a truncated final line (the footprint of a crash mid-append):
+    undecodable lines are skipped, not fatal, so resume always works.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
 def run_campaign(
     spec: CampaignSpec,
     resume_from: Sequence[dict[str, Any]] = (),
+    jobs: int = 1,
+    journal: str | Path | None = None,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
 ) -> list[dict[str, Any]]:
     """Run every grid cell; cells present in ``resume_from`` are reused.
 
-    A cell is identified by (protocol, n, adversary, seed).
+    A cell is identified by (protocol, n, adversary, seed, options) — see
+    :func:`record_cell_key`.  With ``jobs > 1`` the missing cells fan out
+    to a ``multiprocessing`` pool; every cell is a pure function of the
+    spec and its seeds, so the records are identical to a serial run (the
+    returned list is always in grid order).
+
+    ``journal`` names an append-only JSONL file that receives each newly
+    computed record the moment it finishes (previously-resumed records are
+    already on disk and are not re-appended).  ``on_record`` is called with
+    each newly computed record, in completion order.
     """
     done = {
-        (rec["protocol"], rec["n"], rec["adversary"], rec["seed"]): rec
+        record_cell_key(rec): rec
         for rec in resume_from
         if rec.get("campaign") == spec.name
     }
-    records = []
-    for n, adversary, seed in spec.grid():
-        key = (spec.protocol, n, adversary, seed)
+    journal_path = Path(journal) if journal is not None else None
+    results: dict[tuple[int, str, int], dict[str, Any]] = {}
+    pending: list[tuple[int, str, int]] = []
+    for cell in spec.grid():
+        key = spec.cell_key(*cell)
         if key in done:
-            records.append(done[key])
-            continue
-        records.append(_run_cell(spec, n, adversary, seed))
-    return records
+            results[cell] = done[key]
+        else:
+            pending.append(cell)
+
+    def finish(
+        cell: tuple[int, str, int], record: dict[str, Any]
+    ) -> None:
+        results[cell] = record
+        if journal_path is not None:
+            append_journal_record(journal_path, record)
+        if on_record is not None:
+            on_record(record)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for cell in pending:
+            finish(cell, _run_cell(spec, *cell))
+    elif pending:
+        context = multiprocessing.get_context(_start_method())
+        tasks = [(spec, n, adversary, seed) for n, adversary, seed in pending]
+        with context.Pool(processes=min(jobs, len(pending))) as pool:
+            for cell, record in pool.imap_unordered(_run_cell_task, tasks):
+                finish(cell, record)
+    return [results[cell] for cell in spec.grid()]
 
 
 def save_campaign(

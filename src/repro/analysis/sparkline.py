@@ -32,10 +32,15 @@ def sparkline(values: Sequence[float], width: int | None = None) -> str:
         ]
     low = min(series)
     high = max(series)
-    if high == low:
+    span = high - low
+    if span <= 0:
         return BARS[0] * len(series)
-    scale = (len(BARS) - 1) / (high - low)
-    return "".join(BARS[round((v - low) * scale)] for v in series)
+    # Divide before scaling: (v - low) / span is always a finite value in
+    # [0, 1], even when span is subnormal (where 1/span overflows to inf
+    # and (v - low) * inf yields nan for v == low).
+    return "".join(
+        BARS[round((v - low) / span * (len(BARS) - 1))] for v in series
+    )
 
 
 def hbar(

@@ -148,26 +148,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .analysis.campaign import (
         CampaignSpec,
         load_campaign,
+        load_journal,
         run_campaign,
         save_campaign,
         summarize_campaign,
     )
 
+    options = {"x": args.x} if args.x is not None else {}
     spec = CampaignSpec(
         name=args.name,
         protocol=args.protocol,
         ns=_parse_int_list(args.ns),
         adversaries=args.adversaries.split(","),
         seeds=_parse_int_list(args.seeds),
+        options=options,
     )
     resume = []
     output = args.output
-    try:
-        resume = load_campaign(output)
-        print(f"resuming from {output} ({len(resume)} records)")
-    except FileNotFoundError:
-        pass
-    records = run_campaign(spec, resume_from=resume)
+    journal = args.resume
+    if journal is not None:
+        try:
+            resume = load_journal(journal)
+            print(f"resuming from {journal} ({len(resume)} records)")
+        except FileNotFoundError:
+            pass
+    else:
+        try:
+            resume = load_campaign(output)
+            print(f"resuming from {output} ({len(resume)} records)")
+        except FileNotFoundError:
+            pass
+    records = run_campaign(
+        spec, resume_from=resume, jobs=args.jobs, journal=journal
+    )
     save_campaign(records, output)
     print(f"wrote {output} ({len(records)} records)")
     for row in summarize_campaign(records):
@@ -269,6 +282,19 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--adversaries", default="none,silence")
     campaign_parser.add_argument("--seeds", default="0,1")
     campaign_parser.add_argument("--output", default="campaign.json")
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the grid (1 = in-process serial)",
+    )
+    campaign_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="append-only JSONL journal: completed cells stream to it and "
+        "are reused on restart (takes precedence over --output for resume)",
+    )
+    campaign_parser.add_argument(
+        "--x", type=int, default=None,
+        help="tradeoff super-process count (stored in the spec options)",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     report_parser = sub.add_parser(

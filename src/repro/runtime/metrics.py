@@ -20,8 +20,12 @@ class Metrics:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_omitted: int = 0
+    #: Messages that survived the adversary but whose recipient had already
+    #: terminated — neither delivered nor omitted.
+    messages_lost: int = 0
     bits_sent: int = 0
     bits_delivered: int = 0
+    bits_lost: int = 0
     random_calls: int = 0
     random_bits: int = 0
     #: Messages sent in each round, for per-round traffic profiles.
@@ -38,9 +42,14 @@ class Metrics:
         self.bits_per_round.append(bits)
 
     def record_delivery(self, messages: int, bits: int) -> None:
-        """Account the traffic that survived the adversary's omissions."""
+        """Account traffic actually placed in a live recipient's inbox."""
         self.messages_delivered += messages
         self.bits_delivered += bits
+
+    def record_lost(self, messages: int, bits: int) -> None:
+        """Account traffic dropped because its recipient had terminated."""
+        self.messages_lost += messages
+        self.bits_lost += bits
 
     def record_omissions(self, messages: int) -> None:
         """Account messages the adversary omitted this round."""
@@ -58,8 +67,10 @@ class Metrics:
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_omitted": self.messages_omitted,
+            "messages_lost": self.messages_lost,
             "bits_sent": self.bits_sent,
             "bits_delivered": self.bits_delivered,
+            "bits_lost": self.bits_lost,
             "random_calls": self.random_calls,
             "random_bits": self.random_bits,
         }

@@ -76,6 +76,8 @@ class NetworkView:
         "budget_left",
         "decisions",
         "terminated",
+        "_by_sender",
+        "_by_recipient",
     )
 
     def __init__(
@@ -95,34 +97,49 @@ class NetworkView:
         self.budget_left = budget_left
         self.decisions = decisions
         self.terminated = terminated
+        # Lazy per-sender/per-recipient indexes.  A view's message list is
+        # immutable for its lifetime (the engine builds a fresh view every
+        # round), so the indexes are built at most once per round instead of
+        # rescanning all m messages on every helper call.
+        self._by_sender: dict[int, list[int]] | None = None
+        self._by_recipient: dict[int, list[int]] | None = None
+
+    def _indexes(self) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+        if self._by_sender is None:
+            by_sender: dict[int, list[int]] = {}
+            by_recipient: dict[int, list[int]] = {}
+            for index, message in enumerate(self.messages):
+                by_sender.setdefault(message.sender, []).append(index)
+                by_recipient.setdefault(message.recipient, []).append(index)
+            self._by_sender = by_sender
+            self._by_recipient = by_recipient
+        return self._by_sender, self._by_recipient
 
     # Convenience helpers used by concrete strategies -------------------
     def message_indices_touching(self, pids: Iterable[int]) -> frozenset[int]:
         """Indices of messages sent by or to any of ``pids``."""
-        targets = set(pids)
-        return frozenset(
-            index
-            for index, message in enumerate(self.messages)
-            if message.sender in targets or message.recipient in targets
-        )
+        by_sender, by_recipient = self._indexes()
+        indices: list[int] = []
+        for pid in set(pids):
+            indices.extend(by_sender.get(pid, ()))
+            indices.extend(by_recipient.get(pid, ()))
+        return frozenset(indices)
 
     def message_indices_from(self, pids: Iterable[int]) -> frozenset[int]:
         """Indices of messages sent by any of ``pids``."""
-        senders = set(pids)
-        return frozenset(
-            index
-            for index, message in enumerate(self.messages)
-            if message.sender in senders
-        )
+        by_sender, _ = self._indexes()
+        indices: list[int] = []
+        for pid in set(pids):
+            indices.extend(by_sender.get(pid, ()))
+        return frozenset(indices)
 
     def message_indices_to(self, pids: Iterable[int]) -> frozenset[int]:
         """Indices of messages addressed to any of ``pids``."""
-        recipients = set(pids)
-        return frozenset(
-            index
-            for index, message in enumerate(self.messages)
-            if message.recipient in recipients
-        )
+        _, by_recipient = self._indexes()
+        indices: list[int] = []
+        for pid in set(pids):
+            indices.extend(by_recipient.get(pid, ()))
+        return frozenset(indices)
 
 
 class Adversary:
@@ -348,15 +365,31 @@ class SyncNetwork:
         ]
 
     def _deliver(self, messages: list[Message]) -> None:
-        delivered_bits = 0
+        # Bucket by sender and append buckets in ascending-sender order, so
+        # every inbox comes out sender-sorted (intra-sender send order
+        # preserved) without re-sorting all n inboxes every round.
+        buckets: dict[int, list[Message]] = {}
         for message in messages:
-            if self._programs[message.recipient] is None:
-                continue  # recipient already terminated; message is lost
-            self._inboxes[message.recipient].append(message)
-            delivered_bits += message.bits
-        for inbox in self._inboxes:
-            inbox.sort(key=lambda message: message.sender)
-        self.metrics.record_delivery(len(messages), delivered_bits)
+            buckets.setdefault(message.sender, []).append(message)
+        delivered_messages = 0
+        delivered_bits = 0
+        lost_messages = 0
+        lost_bits = 0
+        programs = self._programs
+        inboxes = self._inboxes
+        for sender in sorted(buckets):
+            for message in buckets[sender]:
+                if programs[message.recipient] is None:
+                    # Recipient already terminated; the message is lost and
+                    # counts in neither delivered counter.
+                    lost_messages += 1
+                    lost_bits += message.bits
+                    continue
+                inboxes[message.recipient].append(message)
+                delivered_messages += 1
+                delivered_bits += message.bits
+        self.metrics.record_delivery(delivered_messages, delivered_bits)
+        self.metrics.record_lost(lost_messages, lost_bits)
 
     def current_decisions(self) -> dict[int, Any]:
         return {

@@ -21,6 +21,16 @@ from typing import Iterable, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def _range_bits(upper: int) -> int:
+    """Uniform bits needed to index ``[0, upper)``: ``(upper-1).bit_length()``.
+
+    Computed in integer arithmetic; ``ceil(log2(upper))`` via floats silently
+    under-charges near and above 2^53 (e.g. ``2**64 + 1`` rounds to exactly
+    2^64 as a double, so the float path would charge 64 bits instead of 65).
+    """
+    return (upper - 1).bit_length() if upper > 1 else 0
+
+
 def stable_seed(*parts: object) -> int:
     """Derive a run-independent 63-bit seed from arbitrary labels.
 
@@ -82,7 +92,7 @@ class CountingRandom:
         """Uniform integer in ``[0, upper)``; charged ``ceil(log2 upper)`` bits."""
         if upper <= 0:
             raise ValueError(f"randrange upper bound must be positive: {upper}")
-        self._account(max(1, math.ceil(math.log2(upper))) if upper > 1 else 0)
+        self._account(_range_bits(upper))
         return self._rng.randrange(upper)
 
     def uniform(self) -> float:
@@ -94,8 +104,7 @@ class CountingRandom:
         """Uniform element of ``seq``; charged ``ceil(log2 len)`` bits."""
         if not seq:
             raise IndexError("cannot choose from an empty sequence")
-        bits = max(1, math.ceil(math.log2(len(seq)))) if len(seq) > 1 else 0
-        self._account(bits)
+        self._account(_range_bits(len(seq)))
         return seq[self._rng.randrange(len(seq))]
 
     def sample(self, population: Sequence[T], k: int) -> list[T]:
@@ -103,8 +112,7 @@ class CountingRandom:
         size = len(population)
         if k > size:
             raise ValueError(f"sample size {k} exceeds population {size}")
-        bits = k * (max(1, math.ceil(math.log2(size))) if size > 1 else 0)
-        self._account(bits)
+        self._account(k * _range_bits(size))
         return self._rng.sample(population, k)
 
     def shuffle(self, items: list[T]) -> None:

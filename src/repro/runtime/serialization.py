@@ -35,8 +35,10 @@ def metrics_to_dict(metrics: Metrics) -> dict[str, Any]:
         "messages_sent": metrics.messages_sent,
         "messages_delivered": metrics.messages_delivered,
         "messages_omitted": metrics.messages_omitted,
+        "messages_lost": metrics.messages_lost,
         "bits_sent": metrics.bits_sent,
         "bits_delivered": metrics.bits_delivered,
+        "bits_lost": metrics.bits_lost,
         "random_calls": metrics.random_calls,
         "random_bits": metrics.random_bits,
         "messages_per_round": list(metrics.messages_per_round),
@@ -50,8 +52,11 @@ def metrics_from_dict(data: dict[str, Any]) -> Metrics:
         messages_sent=data["messages_sent"],
         messages_delivered=data["messages_delivered"],
         messages_omitted=data["messages_omitted"],
+        # Absent in files written before the lost-traffic counters existed.
+        messages_lost=data.get("messages_lost", 0),
         bits_sent=data["bits_sent"],
         bits_delivered=data["bits_delivered"],
+        bits_lost=data.get("bits_lost", 0),
         random_calls=data["random_calls"],
         random_bits=data["random_bits"],
     )

@@ -1,10 +1,15 @@
 """Tests for the batch-campaign runner."""
 
+import json
+
 import pytest
 
 from repro.analysis.campaign import (
     CampaignSpec,
+    append_journal_record,
     load_campaign,
+    load_journal,
+    record_cell_key,
     run_campaign,
     save_campaign,
     summarize_campaign,
@@ -77,6 +82,107 @@ class TestRun:
         foreign["rounds"] = -1
         records = run_campaign(spec, resume_from=[foreign])
         assert records[0]["rounds"] > 0
+
+    def test_resume_respects_options(self):
+        """A record from a differently-parameterized sweep is not reused."""
+        spec_x2 = small_spec(
+            protocol="tradeoff", adversaries=["none"], seeds=[0],
+            options={"x": 2},
+        )
+        spec_x3 = small_spec(
+            protocol="tradeoff", adversaries=["none"], seeds=[0],
+            options={"x": 3},
+        )
+        stale = dict(run_campaign(spec_x2)[0])
+        stale["rounds"] = -1  # sentinel proving reuse
+        same_options = run_campaign(spec_x2, resume_from=[stale])
+        assert same_options[0]["rounds"] == -1
+        other_options = run_campaign(spec_x3, resume_from=[stale])
+        assert other_options[0]["rounds"] > 0
+        assert other_options[0]["x"] == 3
+
+    def test_legacy_records_without_options_match_empty_options(self):
+        spec = small_spec(adversaries=["none"], seeds=[0])
+        legacy = dict(run_campaign(spec)[0])
+        del legacy["options"]
+        legacy["rounds"] = -1
+        records = run_campaign(spec, resume_from=[legacy])
+        assert records[0]["rounds"] == -1
+
+    def test_record_cell_key_round_trips_through_json(self):
+        spec = small_spec(
+            protocol="tradeoff", adversaries=["none"], seeds=[0],
+            options={"x": 2},
+        )
+        record = run_campaign(spec)[0]
+        rehydrated = json.loads(json.dumps(record))
+        assert record_cell_key(rehydrated) == spec.cell_key(33, "none", 0)
+
+
+class TestParallel:
+    def test_parallel_records_identical_to_serial(self):
+        spec = small_spec()  # 4 cells
+        serial = run_campaign(spec, jobs=1)
+        fanned = run_campaign(spec, jobs=2)
+        assert json.dumps(fanned, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_parallel_streams_journal_and_resumes(self, tmp_path):
+        spec = small_spec(adversaries=["none"], seeds=[0, 1])
+        path = tmp_path / "journal.jsonl"
+        records = run_campaign(spec, jobs=2, journal=path)
+        on_disk = load_journal(path)
+        assert len(on_disk) == 2
+        assert sorted(map(record_cell_key, on_disk)) == sorted(
+            map(record_cell_key, records)
+        )
+        # A re-run resumes entirely from the journal: nothing recomputed,
+        # nothing re-appended.
+        recomputed = []
+        resumed = run_campaign(
+            spec, resume_from=on_disk, jobs=2, journal=path,
+            on_record=recomputed.append,
+        )
+        assert recomputed == []
+        assert len(load_journal(path)) == 2
+        assert resumed == records
+
+
+class TestJournal:
+    def test_interrupted_campaign_resumes_from_journal(self, tmp_path):
+        """Kill a campaign mid-grid; the journal completes the sweep."""
+        spec = small_spec()  # 4 cells
+        path = tmp_path / "journal.jsonl"
+        seen = []
+
+        def interrupt(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, journal=path, on_record=interrupt)
+        on_disk = load_journal(path)
+        assert len(on_disk) == 2  # the finished cells survived the crash
+
+        finished = []
+        resumed = run_campaign(
+            spec, resume_from=on_disk, journal=path,
+            on_record=finished.append,
+        )
+        assert len(finished) == 2  # only the missing cells ran
+        assert len(resumed) == 4
+        assert len(load_journal(path)) == 4
+        done = {record_cell_key(rec) for rec in resumed}
+        assert done == {spec.cell_key(*cell) for cell in spec.grid()}
+
+    def test_load_journal_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        append_journal_record(path, {"campaign": "c", "seed": 0})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"campaign": "c", "se')  # crash mid-append
+        assert load_journal(path) == [{"campaign": "c", "seed": 0}]
 
 
 class TestPersistence:

@@ -102,6 +102,55 @@ def test_campaign_subcommand(tmp_path, capsys):
     assert "resuming" in captured
 
 
+def test_campaign_jobs_and_jsonl_resume(tmp_path, capsys):
+    from repro.analysis.campaign import load_journal
+
+    journal = tmp_path / "campaign.jsonl"
+    output = tmp_path / "campaign.json"
+    argv = [
+        "campaign",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0,1",
+        "--jobs", "2",
+        "--resume", str(journal),
+        "--output", str(output),
+    ]
+    code = main(argv)
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "rounds=" in captured
+    assert len(load_journal(journal)) == 2
+    # Second invocation resumes from the JSONL journal: no re-runs, so
+    # nothing new is appended.
+    code = main(argv)
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert f"resuming from {journal}" in captured
+    assert len(load_journal(journal)) == 2
+
+
+def test_campaign_x_option_recorded(tmp_path, capsys):
+    output = tmp_path / "tradeoff.json"
+    code = main(
+        [
+            "campaign",
+            "--protocol", "tradeoff",
+            "--ns", "33",
+            "--adversaries", "none",
+            "--seeds", "0",
+            "--x", "2",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    from repro.analysis.campaign import load_campaign
+
+    records = load_campaign(output)
+    assert records[0]["x"] == 2
+    assert records[0]["options"] == {"x": 2}
+
+
 def test_ablation_subcommand(capsys):
     code = main(
         ["ablation", "--n", "33", "--epochs", "1,6", "--trials", "2"]

@@ -238,6 +238,51 @@ def test_final_round_sends_are_delivered():
     assert result.decisions[1] == ["bye"]
 
 
+def test_messages_to_terminated_recipients_counted_as_lost():
+    """Delivered counters agree on which messages they count; traffic to
+    terminated recipients is accounted as lost, in neither of them."""
+
+    class QuickDecider(SyncProcess):
+        def program(self, env):
+            env.decide("gone")
+            return None
+            yield  # pragma: no cover
+
+    class LateSender(SyncProcess):
+        def program(self, env):
+            yield  # round 0: silent; peer terminates this round
+            env.broadcast("too late")
+            env.decide("sent")
+            return None
+
+    network = SyncNetwork([QuickDecider(0, 2), LateSender(1, 2)])
+    result = network.run()
+    metrics = result.metrics
+    assert metrics.messages_sent == 1
+    assert metrics.messages_delivered == 0
+    assert metrics.bits_delivered == 0
+    assert metrics.messages_lost == 1
+    assert metrics.bits_lost > 0
+    assert (
+        metrics.messages_delivered
+        + metrics.messages_omitted
+        + metrics.messages_lost
+        == metrics.messages_sent
+    )
+
+
+def test_delivery_counters_agree_on_delivered_set():
+    """bits_delivered covers exactly the messages in messages_delivered."""
+    n = 3
+    network = SyncNetwork([Chatter(pid, n, rounds=3) for pid in range(n)])
+    result = network.run()
+    metrics = result.metrics
+    assert metrics.messages_delivered == metrics.messages_sent
+    assert metrics.bits_delivered == metrics.bits_sent
+    assert metrics.messages_lost == 0
+    assert metrics.bits_lost == 0
+
+
 def test_randomness_metered_into_result():
     class Flipper(SyncProcess):
         def program(self, env):

@@ -61,6 +61,38 @@ class TestCountingRandom:
         with pytest.raises(ValueError):
             CountingRandom(1).sample([1, 2], 3)
 
+    def test_randrange_exact_bits_beyond_double_precision(self):
+        # ceil(log2(2**53 + 1)) via floats rounds down to 53; the integer
+        # accounting must charge (upper - 1).bit_length() = 54.
+        source = CountingRandom(7)
+        source.randrange(2**53 + 1)
+        assert source.bits_drawn == 54
+
+    def test_randrange_huge_bounds(self):
+        source = CountingRandom(7)
+        source.randrange(2**64)
+        assert source.bits_drawn == 64
+        source.randrange(2**64 + 1)
+        assert source.bits_drawn == 64 + 65
+
+    def test_choice_exact_bits_beyond_double_precision(self):
+        source = CountingRandom(8)
+        value = source.choice(range(2**53 + 1))
+        assert 0 <= value <= 2**53
+        assert source.bits_drawn == 54
+
+    def test_sample_exact_bits_beyond_double_precision(self):
+        source = CountingRandom(9)
+        sample = source.sample(range(2**53 + 1), 2)
+        assert len(set(sample)) == 2
+        assert source.bits_drawn == 2 * 54
+
+    @given(st.integers(min_value=2, max_value=1 << 80))
+    def test_randrange_bits_match_bit_length(self, upper):
+        source = CountingRandom(0)
+        source.randrange(upper)
+        assert source.bits_drawn == (upper - 1).bit_length()
+
     def test_uniform_counts_double_mantissa(self):
         source = CountingRandom(5)
         value = source.uniform()
