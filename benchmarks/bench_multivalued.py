@@ -36,7 +36,6 @@ def test_rounds_linear_in_value_width(benchmark):
         ["value bits", "rounds", "comm bits"],
         rows,
     )
-    rounds = [r for _, r, _ in rows]
     # Linear scaling: doubling the width about doubles the rounds.
     per_bit = [r / bits for bits, r, _ in rows]
     assert max(per_bit) / min(per_bit) < 1.6

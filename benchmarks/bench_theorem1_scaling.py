@@ -14,11 +14,7 @@ from repro.analysis import (
     measure_consensus_scaling,
     balancing_adversary,
 )
-from repro.analysis.theory import (
-    theorem1_bits,
-    theorem1_random_bits,
-    theorem1_rounds,
-)
+from repro.analysis.theory import theorem1_rounds
 
 NS = [64, 100, 144, 196, 256, 400]
 

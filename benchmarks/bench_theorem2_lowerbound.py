@@ -15,7 +15,6 @@ from conftest import print_series
 
 from repro.analysis import loglog_slope
 from repro.lowerbound import (
-    lemma12_budget,
     measure_tradeoff_product,
     sweep_lemma12,
     verify_threshold_inequality,

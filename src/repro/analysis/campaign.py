@@ -9,7 +9,7 @@ A campaign *spec* is data, not code::
 
     spec = CampaignSpec(
         name="scaling-study",
-        protocol="algorithm1",            # or "tradeoff", "early-stopping"
+        protocol="algorithm1",            # any sweepable registry protocol
         ns=[64, 144, 256],
         adversaries=["none", "silence", "balance"],
         seeds=[0, 1, 2],
@@ -47,10 +47,12 @@ from ..adversary import (
     SilenceAdversary,
     VoteBalancingAdversary,
 )
-from ..core import (
-    run_consensus,
-    run_early_stopping_consensus,
-    run_tradeoff_consensus,
+from ..harness import (
+    RoundProfiler,
+    TraceRecorder,
+    available_protocols,
+    execute,
+    protocol_spec,
 )
 from ..params import ProtocolParams
 from .experiments import mixed_inputs
@@ -62,7 +64,9 @@ ADVERSARY_FACTORIES = {
     "balance": lambda n, t, seed: VoteBalancingAdversary(seed=seed),
 }
 
-PROTOCOLS = ("algorithm1", "tradeoff", "early-stopping")
+#: Per-cell capture channels: attach an observer, merge its output into the
+#: record under the same key.
+CAPTURES = ("trace", "profile")
 
 
 def _options_key(options: dict[str, Any]) -> str:
@@ -88,7 +92,14 @@ def record_cell_key(record: dict[str, Any]) -> tuple:
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """Declarative description of a run grid."""
+    """Declarative description of a run grid.
+
+    ``capture`` lists per-cell observer channels (``"trace"`` and/or
+    ``"profile"``): each attaches the matching observer to every run and
+    merges its output into the record under the same key.  Capture channels
+    are diagnostics, not inputs — they are *not* part of a cell's identity,
+    so resuming a sweep with different capture settings reuses its records.
+    """
 
     name: str
     protocol: str = "algorithm1"
@@ -96,17 +107,26 @@ class CampaignSpec:
     adversaries: Sequence[str] = ("none",)
     seeds: Sequence[int] = (0,)
     options: dict[str, Any] = field(default_factory=dict)
+    capture: Sequence[str] = ()
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
+        sweepable = available_protocols(sweepable=True)
+        if self.protocol not in sweepable:
             raise ValueError(
-                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+                f"unknown protocol {self.protocol!r}; choose from {sweepable}"
             )
         unknown = set(self.adversaries) - set(ADVERSARY_FACTORIES)
         if unknown:
             raise ValueError(
                 f"unknown adversaries {sorted(unknown)}; choose from "
                 f"{sorted(ADVERSARY_FACTORIES)}"
+            )
+        object.__setattr__(self, "capture", tuple(self.capture))
+        unknown_capture = set(self.capture) - set(CAPTURES)
+        if unknown_capture:
+            raise ValueError(
+                f"unknown capture channels {sorted(unknown_capture)}; "
+                f"choose from {CAPTURES}"
             )
 
     def grid(self):
@@ -124,24 +144,33 @@ class CampaignSpec:
 def _run_cell(
     spec: CampaignSpec, n: int, adversary_name: str, seed: int
 ) -> dict[str, Any]:
+    protocol = protocol_spec(spec.protocol)
     params = ProtocolParams.practical()
-    t = params.max_faults(n)
+    t = protocol.campaign_t(n, params)
     adversary = ADVERSARY_FACTORIES[adversary_name](n, t, seed)
     inputs = mixed_inputs(n)
 
-    if spec.protocol == "algorithm1":
-        run = run_consensus(
-            inputs, t=t, adversary=adversary, params=params, seed=seed
-        )
-    elif spec.protocol == "early-stopping":
-        run = run_early_stopping_consensus(
-            inputs, t=t, adversary=adversary, params=params, seed=seed
-        )
-    else:
-        x = int(spec.options.get("x", max(2, n // 16)))
-        run = run_tradeoff_consensus(
-            inputs, x, adversary=adversary, params=params, seed=seed
-        )
+    observers = []
+    recorder = profiler = None
+    if "trace" in spec.capture:
+        recorder = TraceRecorder(probe=None)
+        observers.append(recorder)
+    if "profile" in spec.capture:
+        profiler = RoundProfiler()
+        observers.append(profiler)
+
+    # t stays None: every spec's build resolves the same default budget the
+    # adversary above was constructed with (the tradeoff intentionally keeps
+    # its own halved internal budget while the record carries campaign_t).
+    run = execute(
+        protocol,
+        inputs,
+        adversary=adversary,
+        params=params,
+        seed=seed,
+        observers=observers,
+        options=spec.options,
+    )
 
     metrics = run.metrics
     record: dict[str, Any] = {
@@ -163,12 +192,24 @@ def _run_cell(
             getattr(run, "ran_deterministic_fallback", run.used_fallback)
         ),
     }
-    if spec.protocol == "early-stopping":
-        record["exit_epochs"] = sorted(
-            {process.exited_epoch for process in run.processes}
-        )
-    if spec.protocol == "tradeoff":
-        record["x"] = int(spec.options.get("x", max(2, n // 16)))
+    if protocol.record_extras is not None:
+        record.update(protocol.record_extras(run, run.request))
+    if recorder is not None:
+        record["trace"] = {
+            "corruption_rounds": {
+                str(pid): round_no
+                for pid, round_no in sorted(
+                    recorder.corruption_rounds().items()
+                )
+            },
+            "decision_rounds": {
+                str(pid): round_no
+                for pid, round_no in sorted(recorder.decision_rounds().items())
+            },
+            "total_omissions": recorder.total_omissions(),
+        }
+    if profiler is not None:
+        record["profile"] = profiler.summary()
     return record
 
 

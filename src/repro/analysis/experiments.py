@@ -11,11 +11,10 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..adversary import SilenceAdversary, VoteBalancingAdversary
-from ..baselines import run_ben_or, run_phase_king
-from ..baselines.dolev_strong import DolevStrongProcess
+from ..baselines import run_ben_or, run_dolev_strong, run_phase_king
 from ..core import run_consensus, run_tradeoff_consensus
 from ..params import ProtocolParams
-from ..runtime import Adversary, SyncNetwork
+from ..runtime import Adversary
 
 AdversaryFactory = Callable[[int, int], Adversary | None]
 
@@ -152,17 +151,12 @@ def measure_dolev_strong(
     points = []
     for n in ns:
         t = max(1, n // fault_fraction)
-        inputs = mixed_inputs(n)
-        processes = [
-            DolevStrongProcess(pid, n, inputs[pid], t) for pid in range(n)
-        ]
-        network = SyncNetwork(
-            processes,
+        result, _ = run_dolev_strong(
+            mixed_inputs(n),
+            t,
             adversary=adversary_factory(n, t),
-            t=t,
             seed=seed + n,
         )
-        result = network.run()
         decision = result.agreement_value()
         metrics = result.metrics
         points.append(

@@ -18,13 +18,18 @@ from .doubling_gossip import (
     measure_amortization,
     run_collectors,
 )
-from .dolev_strong import DolevStrongProcess, dolev_strong_consensus
+from .dolev_strong import (
+    DolevStrongProcess,
+    dolev_strong_consensus,
+    run_dolev_strong,
+)
 from .reliable_broadcast import BOTTOM, TRBProcess, run_trb
 from .phase_king import PhaseKingProcess, run_phase_king
 
 __all__ = [
     "DolevStrongProcess",
     "dolev_strong_consensus",
+    "run_dolev_strong",
     "PhaseKingProcess",
     "run_phase_king",
     "BenOrVotingProcess",

@@ -21,14 +21,12 @@ Two roles in this repository:
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from typing import Sequence
 
 from ..runtime import (
     Adversary,
-    ExecutionResult,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
 )
 
@@ -148,21 +146,25 @@ def run_ben_or(
     coin_pids: frozenset[int] | None = None,
     seed: int = 0,
     max_rounds: int = 100_000,
-) -> tuple[ExecutionResult, list[BenOrVotingProcess]]:
-    """Run the voting baseline end-to-end; returns (result, processes)."""
-    n = len(inputs)
-    processes = [
-        BenOrVotingProcess(
-            pid,
-            n,
-            inputs[pid],
-            threshold=threshold,
-            max_phases=max_phases,
-            coin_pids=coin_pids,
-        )
-        for pid in range(n)
-    ]
-    network = SyncNetwork(
-        processes, adversary=adversary, t=t, seed=seed, max_rounds=max_rounds
+    observers: Sequence = (),
+):
+    """Run the voting baseline end-to-end.
+
+    Thin wrapper over :func:`repro.harness.execute`; the returned
+    :class:`repro.core.consensus.ConsensusRun` still unpacks as the
+    historical ``(result, processes)`` tuple.
+    """
+    from ..harness import execute
+
+    return execute(
+        "ben-or",
+        inputs,
+        t=t,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=max_rounds,
+        observers=observers,
+        threshold=threshold,
+        max_phases=max_phases,
+        coin_pids=coin_pids,
     )
-    return network.run(), processes

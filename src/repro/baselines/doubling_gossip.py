@@ -33,12 +33,10 @@ from typing import Sequence
 from ..runtime import (
     Adversary,
     AdversaryAction,
-    ExecutionResult,
     Message,
     NetworkView,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
 )
 
@@ -205,14 +203,26 @@ def run_collectors(
     adversary: Adversary | None,
     quorum: int | None = None,
     seed: int = 0,
-) -> tuple[ExecutionResult, list[DoublingCollector]]:
-    """All n processes collect concurrently under the given adversary."""
-    quorum = quorum if quorum is not None else max(1, (n - 1) // 2)
-    processes = [DoublingCollector(pid, n, quorum) for pid in range(n)]
-    network = SyncNetwork(
-        processes, adversary=adversary, t=t, seed=seed
+    observers: Sequence = (),
+):
+    """All n processes collect concurrently under the given adversary.
+
+    Thin wrapper over :func:`repro.harness.execute`; the returned
+    :class:`repro.core.consensus.ConsensusRun` still unpacks as the
+    historical ``(result, processes)`` tuple.
+    """
+    from ..harness import execute
+
+    options = {} if quorum is None else {"quorum": quorum}
+    return execute(
+        "collectors",
+        n=n,
+        t=t,
+        adversary=adversary,
+        seed=seed,
+        observers=observers,
+        options=options,
     )
-    return network.run(), processes
 
 
 def measure_amortization(

@@ -26,10 +26,8 @@ from typing import Sequence
 
 from ..runtime import (
     Adversary,
-    ExecutionResult,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
 )
 
@@ -110,13 +108,22 @@ def run_phase_king(
     adversary: Adversary | None = None,
     seed: int = 0,
     max_rounds: int = 100_000,
-) -> tuple[ExecutionResult, list[PhaseKingProcess]]:
-    """Run phase-king end-to-end; returns (result, processes)."""
-    n = len(inputs)
-    processes = [
-        PhaseKingProcess(pid, n, inputs[pid], t) for pid in range(n)
-    ]
-    network = SyncNetwork(
-        processes, adversary=adversary, t=t, seed=seed, max_rounds=max_rounds
+    observers: Sequence = (),
+):
+    """Run phase-king end-to-end.
+
+    Thin wrapper over :func:`repro.harness.execute`; the returned
+    :class:`repro.core.consensus.ConsensusRun` still unpacks as the
+    historical ``(result, processes)`` tuple.
+    """
+    from ..harness import execute
+
+    return execute(
+        "phase-king",
+        inputs,
+        t=t,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=max_rounds,
+        observers=observers,
     )
-    return network.run(), processes

@@ -34,10 +34,8 @@ from typing import Sequence
 
 from ..runtime import (
     Adversary,
-    ExecutionResult,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
 )
 
@@ -146,13 +144,23 @@ def run_trb(
     t: int,
     adversary: Adversary | None = None,
     seed: int = 0,
-) -> tuple[ExecutionResult, list[TRBProcess]]:
-    """Run one TRB instance; returns (result, processes)."""
-    processes = [
-        TRBProcess(
-            pid, n, sender, t, value=value if pid == sender else None
-        )
-        for pid in range(n)
-    ]
-    network = SyncNetwork(processes, adversary=adversary, t=t, seed=seed)
-    return network.run(), processes
+    observers: Sequence = (),
+):
+    """Run one TRB instance.
+
+    Thin wrapper over :func:`repro.harness.execute`; the returned
+    :class:`repro.core.consensus.ConsensusRun` still unpacks as the
+    historical ``(result, processes)`` tuple.
+    """
+    from ..harness import execute
+
+    return execute(
+        "trb",
+        n=n,
+        t=t,
+        adversary=adversary,
+        seed=seed,
+        observers=observers,
+        sender=sender,
+        value=value,
+    )

@@ -21,8 +21,14 @@ from .adversary import (
     VoteBalancingAdversary,
 )
 from .analysis import render_table, table1
-from .core import run_consensus, run_tradeoff_consensus
+from .core import run_tradeoff_consensus
 from .graphs import spreading_graph, theorem4_report
+from .harness import (
+    RoundProfiler,
+    available_protocols,
+    execute,
+    protocol_spec,
+)
 from .analysis.montecarlo import decision_bias, fallback_rate_vs_epochs
 from .lowerbound import sweep_lemma12
 from .params import ProtocolParams
@@ -53,12 +59,21 @@ def _parse_int_list(text: str) -> list[int]:
 def _cmd_run(args: argparse.Namespace) -> int:
     params = ProtocolParams.practical()
     n = args.n
-    t = args.t if args.t is not None else params.max_faults(n)
+    spec = protocol_spec(args.protocol)
+    t = args.t if args.t is not None else spec.campaign_t(n, params)
     inputs = [pid % 2 for pid in range(n)] if args.inputs == "mixed" else (
         [int(args.inputs)] * n
     )
     adversary = _build_adversary(args.adversary, n, t, args.seed)
-    run = run_consensus(inputs, t=t, adversary=adversary, seed=args.seed)
+    profiler = RoundProfiler() if args.profile else None
+    run = execute(
+        spec,
+        inputs,
+        t=t,
+        adversary=adversary,
+        seed=args.seed,
+        observers=(profiler,) if profiler is not None else (),
+    )
     metrics = run.metrics
     if args.json:
         import json
@@ -66,11 +81,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .runtime import result_to_dict
 
         payload = result_to_dict(run.result)
+        payload["protocol"] = spec.name
         payload["decision"] = run.decision
         payload["time_to_agreement"] = run.result.time_to_agreement()
         payload["used_fallback"] = run.used_fallback
+        if profiler is not None:
+            payload["profile"] = profiler.summary()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
+    print(f"protocol      : {spec.name}")
     print(f"decision      : {run.decision}")
     print(f"time (rounds) : {run.result.time_to_agreement()}")
     print(f"comm. bits    : {metrics.bits_sent}")
@@ -81,6 +100,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis.sparkline import render_series
 
     print(render_series("traffic/round", metrics.messages_per_round, width=64))
+    if profiler is not None:
+        summary = profiler.summary()
+        print(
+            "profile (s)   : "
+            f"wall={summary['wall_time']:.4f} "
+            f"compute={summary['compute']:.4f} "
+            f"adversary={summary['adversary']:.4f} "
+            f"delivery={summary['delivery']:.4f} "
+            f"overhead={summary['overhead']:.4f}"
+        )
     return 0
 
 
@@ -162,6 +191,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         adversaries=args.adversaries.split(","),
         seeds=_parse_int_list(args.seeds),
         options=options,
+        capture=tuple(item for item in args.capture.split(",") if item),
     )
     resume = []
     output = args.output
@@ -217,9 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="run Algorithm 1 once")
+    run_parser = sub.add_parser(
+        "run", help="run one registered protocol once (default: Algorithm 1)"
+    )
     run_parser.add_argument("--n", type=int, default=128)
     run_parser.add_argument("--t", type=int, default=None)
+    run_parser.add_argument(
+        "--protocol", default="algorithm1",
+        choices=list(available_protocols(sweepable=True)),
+    )
     run_parser.add_argument(
         "--inputs", default="mixed", help='"mixed", "0" or "1"'
     )
@@ -230,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", action="store_true",
         help="emit the full execution result as JSON",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="attach a RoundProfiler and print per-phase wall time",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -276,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--name", default="campaign")
     campaign_parser.add_argument(
         "--protocol", default="algorithm1",
-        choices=["algorithm1", "tradeoff", "early-stopping"],
+        choices=list(available_protocols(sweepable=True)),
     )
     campaign_parser.add_argument("--ns", default="64,100")
     campaign_parser.add_argument("--adversaries", default="none,silence")
@@ -294,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--x", type=int, default=None,
         help="tradeoff super-process count (stored in the spec options)",
+    )
+    campaign_parser.add_argument(
+        "--capture", default="",
+        help='comma list of per-cell observers to attach: "trace", "profile"',
     )
     campaign_parser.set_defaults(func=_cmd_campaign)
 

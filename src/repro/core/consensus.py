@@ -45,7 +45,6 @@ from ..runtime import (
     Message,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
     idle_rounds,
 )
@@ -317,10 +316,28 @@ class OptimalOmissionsConsensus(SyncProcess):
 
 @dataclass
 class ConsensusRun:
-    """A finished consensus execution plus convenience accessors."""
+    """A finished consensus execution plus convenience accessors.
+
+    Unpacks like the historical ``(result, processes)`` tuple —
+    ``result, processes = run_ben_or(...)`` and ``run_trb(...)[0]`` keep
+    working — while offering the richer accessors below.
+    """
 
     result: ExecutionResult
     processes: list[SyncProcess]
+    #: The normalized :class:`repro.harness.ExecutionRequest` this run was
+    #: produced from (None for runs constructed outside the harness).
+    request: Any = None
+
+    def __iter__(self):
+        yield self.result
+        yield self.processes
+
+    def __getitem__(self, index):
+        return (self.result, self.processes)[index]
+
+    def __len__(self) -> int:
+        return 2
 
     @property
     def decision(self) -> Any:
@@ -384,6 +401,7 @@ def run_consensus(
     graph_seed: int = 0,
     num_epochs: int | None = None,
     max_rounds: int = 200_000,
+    observers: Sequence[Any] = (),
 ) -> ConsensusRun:
     """Run Algorithm 1 end-to-end on the synchronous substrate.
 
@@ -391,20 +409,20 @@ def run_consensus(
     budget ``t`` (defaults to the preset's maximum for n), and an adversary
     strategy (defaults to no faults).  Returns a :class:`ConsensusRun` whose
     ``decision`` property asserts agreement+termination of non-faulty
-    processes while extracting the decided value.
+    processes while extracting the decided value.  Thin wrapper over
+    :func:`repro.harness.execute`.
     """
-    n = len(inputs)
-    params = params if params is not None else ProtocolParams.practical()
-    t = t if t is not None else params.max_faults(n)
-    processes = build_processes(
-        inputs, t=t, params=params, graph_seed=graph_seed, num_epochs=num_epochs
-    )
-    network = SyncNetwork(
-        processes,
-        adversary=adversary,
+    from ..harness import execute
+
+    return execute(
+        "algorithm1",
+        inputs,
         t=t,
+        adversary=adversary,
+        params=params,
         seed=seed,
+        graph_seed=graph_seed,
         max_rounds=max_rounds,
+        observers=observers,
+        num_epochs=num_epochs,
     )
-    result = network.run()
-    return ConsensusRun(result=result, processes=list(processes))

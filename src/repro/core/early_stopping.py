@@ -44,7 +44,6 @@ from ..runtime import (
     Message,
     ProcessEnv,
     Program,
-    SyncNetwork,
     idle_rounds,
 )
 from .aggregation import group_bits_aggregation
@@ -206,26 +205,22 @@ def run_early_stopping_consensus(
     graph_seed: int = 0,
     num_epochs: int | None = None,
     max_rounds: int = 200_000,
+    observers: Sequence = (),
 ) -> ConsensusRun:
     """Run the early-stopping variant end to end (API of
-    :func:`repro.core.run_consensus`)."""
-    n = len(inputs)
-    params = params if params is not None else ProtocolParams.practical()
-    t = t if t is not None else params.max_faults(n)
-    processes = [
-        EarlyStoppingConsensus(
-            pid,
-            n,
-            inputs[pid],
-            t=t,
-            params=params,
-            graph_seed=graph_seed,
-            num_epochs=num_epochs,
-        )
-        for pid in range(n)
-    ]
-    network = SyncNetwork(
-        processes, adversary=adversary, t=t, seed=seed, max_rounds=max_rounds
+    :func:`repro.core.run_consensus`).  Thin wrapper over
+    :func:`repro.harness.execute`."""
+    from ..harness import execute
+
+    return execute(
+        "early-stopping",
+        inputs,
+        t=t,
+        adversary=adversary,
+        params=params,
+        seed=seed,
+        graph_seed=graph_seed,
+        max_rounds=max_rounds,
+        observers=observers,
+        num_epochs=num_epochs,
     )
-    result = network.run()
-    return ConsensusRun(result=result, processes=list(processes))

@@ -30,11 +30,8 @@ from ..baselines.dolev_strong import dolev_strong_consensus
 from ..params import ProtocolParams
 from ..runtime import (
     Adversary,
-    ExecutionResult,
-    Message,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
 )
 from .consensus import CoreState, optimal_epochs_and_dissemination
@@ -220,24 +217,25 @@ def run_multivalued_consensus(
     seed: int = 0,
     graph_seed: int = 0,
     max_rounds: int = 500_000,
-) -> tuple[ExecutionResult, list[MultiValuedConsensus]]:
-    """Run multi-valued consensus end to end; returns (result, processes)."""
-    n = len(inputs)
-    params = params if params is not None else ProtocolParams.practical()
-    t = t if t is not None else params.max_faults(n)
-    processes = [
-        MultiValuedConsensus(
-            pid,
-            n,
-            inputs[pid],
-            value_bits,
-            t=t,
-            params=params,
-            graph_seed=graph_seed,
-        )
-        for pid in range(n)
-    ]
-    network = SyncNetwork(
-        processes, adversary=adversary, t=t, seed=seed, max_rounds=max_rounds
+    observers: Sequence = (),
+):
+    """Run multi-valued consensus end to end.
+
+    Thin wrapper over :func:`repro.harness.execute`; the returned
+    :class:`repro.core.consensus.ConsensusRun` still unpacks as the
+    historical ``(result, processes)`` tuple.
+    """
+    from ..harness import execute
+
+    return execute(
+        "multivalued",
+        inputs,
+        t=t,
+        adversary=adversary,
+        params=params,
+        seed=seed,
+        graph_seed=graph_seed,
+        max_rounds=max_rounds,
+        observers=observers,
+        value_bits=value_bits,
     )
-    return network.run(), processes

@@ -35,7 +35,6 @@ from ..runtime import (
     Message,
     ProcessEnv,
     Program,
-    SyncNetwork,
     SyncProcess,
     idle_rounds,
 )
@@ -290,38 +289,29 @@ def run_tradeoff_consensus(
     seed: int = 0,
     graph_seed: int = 0,
     max_rounds: int = 500_000,
+    observers: Sequence[Any] = (),
 ) -> ConsensusRun:
     """Run Algorithm 4 end-to-end with ``x`` super-processes.
 
     ``x = 1`` degenerates to a single Algorithm-1 run plus the safety rule;
     ``x = n`` is the randomness-free extreme (singleton phases use no coins),
     paying ~n rounds of round-robin time — the two ends of the Theorem-3
-    interpolation.
+    interpolation.  Thin wrapper over :func:`repro.harness.execute`.
     """
-    n = len(inputs)
-    params = params if params is not None else ProtocolParams.practical()
-    processes = [
-        ParamOmissions(
-            pid,
-            n,
-            inputs[pid],
-            x=x,
-            t=t,
-            params=params,
-            graph_seed=graph_seed,
-        )
-        for pid in range(n)
-    ]
-    budget = processes[0].t
-    network = SyncNetwork(
-        processes,
+    from ..harness import execute
+
+    return execute(
+        "tradeoff",
+        inputs,
+        t=t,
         adversary=adversary,
-        t=budget,
+        params=params,
         seed=seed,
+        graph_seed=graph_seed,
         max_rounds=max_rounds,
+        observers=observers,
+        x=x,
     )
-    result = network.run()
-    return ConsensusRun(result=result, processes=list(processes))
 
 
 @dataclass

@@ -1,0 +1,213 @@
+"""Protocol registry and the unified ``execute`` entry point.
+
+Every runnable protocol in the repository registers a
+:class:`ProtocolSpec`: a name, a process factory, a default fault budget,
+and a result adapter.  The public ``run_*`` helpers in ``repro.core`` and
+``repro.baselines`` are thin wrappers over :func:`execute`, and the
+campaign runner, the CLI, and the analysis drivers dispatch through the
+registry — so registering a protocol makes it sweepable everywhere at
+once.
+
+A spec's ``build`` receives an :class:`ExecutionRequest` (the normalized
+inputs) and returns ``(processes, t)`` — the process list and the network
+fault budget, which lets protocols like Algorithm 4 derive their own
+budget.  ``execute`` then drives one :class:`SyncNetwork` with the
+request's adversary and observers and wraps the outcome in a
+:class:`repro.core.consensus.ConsensusRun`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Mapping, Sequence
+
+from ..params import ProtocolParams
+from ..runtime import Adversary, RoundObserver, SyncNetwork, SyncProcess
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """Normalized inputs of one :func:`execute` call, handed to the spec.
+
+    ``options`` carries protocol-specific extras (``x``, ``num_epochs``,
+    ``value_bits``, ``sender``, ``quorum``, ...); specs read what they
+    understand and ignore the rest.
+    """
+
+    n: int
+    inputs: Sequence[int] | None
+    t: int | None
+    params: ProtocolParams
+    seed: int
+    graph_seed: int
+    adversary: Adversary | None
+    max_rounds: int | None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def option(self, key: str, default: Any = None) -> Any:
+        return self.options.get(key, default)
+
+
+#: A process factory: request -> (processes, network fault budget).
+Builder = Callable[[ExecutionRequest], tuple[list[SyncProcess], int]]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One runnable protocol, as the harness sees it.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"algorithm1"``, ``"ben-or"``, ...).
+    summary:
+        One-line description for ``--help`` output and docs.
+    build:
+        Factory turning an :class:`ExecutionRequest` into
+        ``(processes, t)``.
+    default_max_rounds:
+        Engine round cap when the caller does not override it.
+    default_t:
+        Default fault budget for (n, params) — used by sweep drivers to
+        construct adversaries before the processes exist, and recorded in
+        campaign cells.  It may differ from the budget ``build`` returns
+        (Algorithm 4 halves its tolerance internally).
+    record_extras:
+        Optional ``(run, request) -> dict`` merged into campaign records
+        (e.g. early stopping's ``exit_epochs``).
+    sweepable:
+        Whether the protocol fits the campaign grid (binary inputs, a
+        uniform decision the agreement check accepts).  Non-sweepable
+        protocols (the doubling collectors) still run through ``execute``.
+    uses_inputs:
+        Whether ``build`` consumes a per-process input vector; protocols
+        like TRB derive everything from ``n`` and options.
+    """
+
+    name: str
+    summary: str
+    build: Builder
+    default_max_rounds: int = 100_000
+    default_t: Callable[[int, ProtocolParams], int] | None = None
+    record_extras: Callable[[Any, ExecutionRequest], dict[str, Any]] | None = (
+        None
+    )
+    sweepable: bool = True
+    uses_inputs: bool = True
+
+    def campaign_t(self, n: int, params: ProtocolParams) -> int:
+        """The fault budget a campaign cell uses for adversary construction."""
+        if self.default_t is not None:
+            return self.default_t(n, params)
+        return params.max_faults(n)
+
+
+_REGISTRY: dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
+    """Add a spec to the registry; ``replace=True`` overrides an entry."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"protocol {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_builtin_protocols() -> None:
+    """Populate the registry with the repository's protocols (idempotent)."""
+    from . import protocols  # noqa: F401  (imported for its side effects)
+
+
+def protocol_spec(name: str) -> ProtocolSpec:
+    """Look up a registered protocol; raises ``ValueError`` with choices."""
+    _ensure_builtin_protocols()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from "
+            f"{available_protocols()}"
+        ) from None
+
+
+def available_protocols(sweepable: bool | None = None) -> tuple[str, ...]:
+    """Registered protocol names, in registration order.
+
+    ``sweepable=True`` restricts to protocols the campaign grid accepts.
+    """
+    _ensure_builtin_protocols()
+    return tuple(
+        name
+        for name, spec in _REGISTRY.items()
+        if sweepable is None or spec.sweepable == sweepable
+    )
+
+
+def execute(
+    protocol: str | ProtocolSpec,
+    inputs: Sequence[int] | None = None,
+    *,
+    n: int | None = None,
+    t: int | None = None,
+    adversary: Adversary | None = None,
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    graph_seed: int = 0,
+    max_rounds: int | None = None,
+    observers: Sequence[RoundObserver] = (),
+    options: Mapping[str, Any] | None = None,
+    **extra_options: Any,
+):
+    """Run one protocol end-to-end through the unified harness.
+
+    ``protocol`` is a registered name or a :class:`ProtocolSpec`.
+    ``inputs`` is the per-process input vector (for protocols that take
+    one); ``n`` may be given instead for input-free protocols.  Keyword
+    options beyond the engine knobs — or an explicit ``options`` mapping —
+    are passed to the spec's factory (e.g. ``x=4`` for the tradeoff,
+    ``sender=0`` for TRB).  ``observers`` are attached to the underlying
+    :class:`SyncNetwork`, so traces and profiles can be captured on any
+    protocol without touching its wrapper.
+
+    Returns a :class:`repro.core.consensus.ConsensusRun`.
+    """
+    from ..core.consensus import ConsensusRun
+
+    spec = protocol if isinstance(protocol, ProtocolSpec) else (
+        protocol_spec(protocol)
+    )
+    if inputs is None and n is None:
+        raise ValueError(
+            f"protocol {spec.name!r} needs `inputs` or an explicit `n`"
+        )
+    if spec.uses_inputs and inputs is None:
+        raise ValueError(f"protocol {spec.name!r} needs an input vector")
+    merged_options: dict[str, Any] = dict(options or {})
+    merged_options.update(extra_options)
+    request = ExecutionRequest(
+        n=n if n is not None else len(inputs),
+        inputs=inputs,
+        t=t,
+        params=params if params is not None else ProtocolParams.practical(),
+        seed=seed,
+        graph_seed=graph_seed,
+        adversary=adversary,
+        max_rounds=max_rounds,
+        options=MappingProxyType(merged_options),
+    )
+    processes, budget = spec.build(request)
+    network = SyncNetwork(
+        processes,
+        adversary=adversary,
+        t=budget,
+        seed=seed,
+        max_rounds=(
+            max_rounds if max_rounds is not None else spec.default_max_rounds
+        ),
+        observers=observers,
+    )
+    result = network.run()
+    return ConsensusRun(
+        result=result, processes=list(processes), request=request
+    )

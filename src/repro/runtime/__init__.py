@@ -8,11 +8,19 @@ Public surface:
 * :class:`SyncNetwork`, :class:`Adversary`, :class:`AdversaryAction`,
   :class:`NetworkView`, :class:`ExecutionResult` — the round engine and the
   adaptive full-information adversary hook;
+* :class:`RoundObserver`, :class:`RoundProfiler`, :class:`TraceRecorder` —
+  the engine-driven observer bus and its built-in observers;
 * :class:`Metrics` — rounds / communication bits / randomness accounting.
 """
 
 from .messages import MESSAGE_OVERHEAD_BITS, Message, payload_bits
 from .metrics import Metrics
+from .observers import (
+    CallbackObserver,
+    MetricsObserver,
+    RoundObserver,
+    RoundProfiler,
+)
 from .network import (
     Adversary,
     AdversaryAction,
@@ -64,6 +72,10 @@ __all__ = [
     "SyncProcess",
     "idle_rounds",
     "receive_round",
+    "CallbackObserver",
+    "MetricsObserver",
+    "RoundObserver",
+    "RoundProfiler",
     "RoundTrace",
     "TraceRecorder",
     "default_state_probe",

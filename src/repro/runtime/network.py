@@ -14,6 +14,14 @@ Each simulated round follows the paper's two-phase structure (Section 2):
 
 The engine never trusts the strategy: illegal actions raise
 :class:`AdversaryProtocolError`.
+
+Instrumentation rides a first-class observer bus
+(:class:`repro.runtime.observers.RoundObserver`): the engine natively
+dispatches ``on_run_start`` / ``on_round_start`` / ``on_messages_sent`` /
+``on_adversary_action`` / ``on_deliveries`` / ``on_round_end`` /
+``on_run_end``.  The :class:`Metrics` accounting itself is the first
+observer on every network, so tracers and profilers see consistent series
+without wrapping the adversary or monkeypatching hooks.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .messages import Message
 from .metrics import Metrics
+from .observers import CallbackObserver, MetricsObserver, RoundObserver
 from .process import ProcessEnv, Program, SyncProcess
 from .randomness import CountingRandom, derive_seeds
 
@@ -238,6 +247,7 @@ class SyncNetwork:
         max_rounds: int = 100_000,
         on_round: Callable[[int, "SyncNetwork"], None] | None = None,
         reseed_at: tuple[int, int] | None = None,
+        observers: Sequence[RoundObserver] = (),
     ) -> None:
         if not processes:
             raise ValueError("need at least one process")
@@ -264,7 +274,14 @@ class SyncNetwork:
         self.metrics = Metrics()
         self.faulty: set[int] = set()
         self.round = 0
-        self._on_round = on_round
+        #: The observer bus.  The engine's own accounting comes first so
+        #: user observers read up-to-date Metrics series; the legacy
+        #: ``on_round`` callback (if any) runs last, at the old hook's
+        #: position (end of round).
+        self._observers: list[RoundObserver] = [MetricsObserver(self.metrics)]
+        self._observers.extend(observers)
+        if on_round is not None:
+            self._observers.append(CallbackObserver(on_round))
         #: Optional (round, seed): at the start of that round every
         #: process's random source is re-seeded from ``seed`` — the fork
         #: point used by rollout-based adversaries (future coins must be
@@ -280,6 +297,22 @@ class SyncNetwork:
             process.program(self.envs[process.pid]) for process in self.processes
         ]
         self._inboxes: list[list[Message]] = [[] for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: RoundObserver) -> "SyncNetwork":
+        """Attach a :class:`RoundObserver`; returns the network (chainable).
+
+        Attach before :meth:`run` — observers joining mid-run would see a
+        partial hook sequence.
+        """
+        self._observers.append(observer)
+        return self
+
+    @property
+    def observers(self) -> tuple[RoundObserver, ...]:
+        """The attached observers (first entry is the engine's own
+        :class:`MetricsObserver`)."""
+        return tuple(self._observers)
 
     # ------------------------------------------------------------------
     @property
@@ -357,7 +390,8 @@ class SyncNetwork:
                     f"processes; message {message.sender}->{message.recipient} "
                     "touches none"
                 )
-        self.metrics.record_omissions(len(omit))
+        for observer in self._observers:
+            observer.on_adversary_action(self.round, view, action, self)
         return [
             message
             for index, message in enumerate(messages)
@@ -371,10 +405,8 @@ class SyncNetwork:
         buckets: dict[int, list[Message]] = {}
         for message in messages:
             buckets.setdefault(message.sender, []).append(message)
-        delivered_messages = 0
-        delivered_bits = 0
-        lost_messages = 0
-        lost_bits = 0
+        delivered: list[Message] = []
+        lost: list[Message] = []
         programs = self._programs
         inboxes = self._inboxes
         for sender in sorted(buckets):
@@ -382,14 +414,12 @@ class SyncNetwork:
                 if programs[message.recipient] is None:
                     # Recipient already terminated; the message is lost and
                     # counts in neither delivered counter.
-                    lost_messages += 1
-                    lost_bits += message.bits
+                    lost.append(message)
                     continue
                 inboxes[message.recipient].append(message)
-                delivered_messages += 1
-                delivered_bits += message.bits
-        self.metrics.record_delivery(delivered_messages, delivered_bits)
-        self.metrics.record_lost(lost_messages, lost_bits)
+                delivered.append(message)
+        for observer in self._observers:
+            observer.on_deliveries(self.round, delivered, lost, self)
 
     def current_decisions(self) -> dict[int, Any]:
         return {
@@ -399,7 +429,10 @@ class SyncNetwork:
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
         """Run rounds until every process terminates (or max_rounds)."""
+        observers = self._observers
         self.adversary.setup(self.n, self.t, self.processes)
+        for observer in observers:
+            observer.on_run_start(self)
         while self.live_count > 0:
             if (
                 self._reseed_at is not None
@@ -416,23 +449,26 @@ class SyncNetwork:
                     f"protocol did not terminate within {self.max_rounds} "
                     f"rounds; {self.live_count} processes still live"
                 )
+            for observer in observers:
+                observer.on_round_start(self.round, self)
             outbound = self._advance_processes()
             if self.live_count == 0 and not outbound:
+                # A terminal local-computation phase with no traffic is not
+                # a round: observers see the unmatched on_round_start.
                 break
-            self.metrics.record_round(
-                len(outbound), sum(message.bits for message in outbound)
-            )
+            for observer in observers:
+                observer.on_messages_sent(self.round, outbound, self)
             surviving = self._apply_adversary(outbound)
             self._deliver(surviving)
-            if self._on_round is not None:
-                self._on_round(self.round, self)
+            for observer in observers:
+                observer.on_round_end(self.round, self)
             self.round += 1
 
         self.metrics.record_randomness(
             sum(source.calls for source in self.sources),
             sum(source.bits_drawn for source in self.sources),
         )
-        return ExecutionResult(
+        result = ExecutionResult(
             n=self.n,
             decisions=self.current_decisions(),
             metrics=self.metrics,
@@ -448,3 +484,6 @@ class SyncNetwork:
                 if env.decision_round is not None
             },
         )
+        for observer in observers:
+            observer.on_run_end(result, self)
+        return result

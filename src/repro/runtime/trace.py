@@ -1,20 +1,24 @@
 """Structured execution tracing.
 
-A :class:`TraceRecorder` attaches to :class:`SyncNetwork` (via the
-``on_round`` hook plus an adversary wrapper) and records one
-:class:`RoundTrace` per round: traffic, omissions, corruptions, decisions,
-and a configurable sample of process state (by default the Algorithm-1
-``b`` / ``operative`` / ``decided`` triple).  Traces power the diagnostics
-example and the regression tests that assert *when* things happened, not
-just final outcomes.
+A :class:`TraceRecorder` is a :class:`RoundObserver`: attach it to a
+:class:`SyncNetwork` (``network.add_observer(recorder)``, or the classic
+``recorder.attach(network)``) and it records one :class:`RoundTrace` per
+round: traffic, omissions, corruptions, decisions, and a configurable
+sample of process state (by default the Algorithm-1 ``b`` / ``operative``
+/ ``decided`` triple).  It observes the validated adversary action through
+the engine's native ``on_adversary_action`` hook — no wrapping of the
+adversary, no effect on the run.  Traces power the diagnostics example and
+the regression tests that assert *when* things happened, not just final
+outcomes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
-from .network import Adversary, AdversaryAction, NetworkView, SyncNetwork
+from .network import AdversaryAction, NetworkView, SyncNetwork
+from .observers import RoundObserver
 from .process import SyncProcess
 
 
@@ -43,23 +47,7 @@ def default_state_probe(process: SyncProcess) -> Any:
     return snapshot or None
 
 
-class _RecordingAdversary(Adversary):
-    """Wraps the real adversary to observe its actions."""
-
-    def __init__(self, inner: Adversary, recorder: "TraceRecorder") -> None:
-        self.inner = inner
-        self.recorder = recorder
-
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        self.inner.setup(n, t, processes)
-
-    def act(self, view: NetworkView) -> AdversaryAction:
-        action = self.inner.act(view)
-        self.recorder._note_action(view.round, action, view)
-        return action
-
-
-class TraceRecorder:
+class TraceRecorder(RoundObserver):
     """Collects :class:`RoundTrace` records from a network run.
 
     Usage::
@@ -90,28 +78,23 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     def attach(self, network: SyncNetwork) -> SyncNetwork:
         """Wire this recorder into the network; returns the same network."""
-        network.adversary = _RecordingAdversary(network.adversary, self)
-        previous_hook = network._on_round
-
-        def hook(round_no: int, net: SyncNetwork) -> None:
-            self._record_round(round_no, net)
-            if previous_hook is not None:
-                previous_hook(round_no, net)
-
-        network._on_round = hook
-        return network
+        return network.add_observer(self)
 
     # ------------------------------------------------------------------
-    def _note_action(
-        self, round_no: int, action: AdversaryAction, view: NetworkView
+    # RoundObserver hooks.
+    def on_adversary_action(
+        self,
+        round_no: int,
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
-        already_faulty = view.faulty
         self._pending_action = AdversaryAction(
-            corrupt=frozenset(action.corrupt) - already_faulty,
+            corrupt=frozenset(action.corrupt) - view.faulty,
             omit=action.omit,
         )
 
-    def _record_round(self, round_no: int, network: SyncNetwork) -> None:
+    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         action = self._pending_action or AdversaryAction.nothing()
         self._pending_action = None
 

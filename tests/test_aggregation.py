@@ -7,7 +7,7 @@ aggregation sub-protocol and reports its result as its decision.
 import pytest
 
 from repro.adversary import SilenceAdversary
-from repro.core import cached_bag_tree, global_stage_count, cached_sqrt_partition
+from repro.core import cached_bag_tree
 from repro.core.aggregation import group_bits_aggregation
 from repro.params import ProtocolParams
 from repro.runtime import ProcessEnv, SyncNetwork, SyncProcess

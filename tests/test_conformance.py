@@ -1,7 +1,5 @@
 """Tests for (and via) the consensus-conformance harness."""
 
-import pytest
-
 from repro.analysis.conformance import (
     DEFAULT_GALLERY,
     check_consensus_protocol,

@@ -1,0 +1,289 @@
+"""The unified execution harness: registry, execute(), and wrapper compat."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import SilenceAdversary
+from repro.analysis.campaign import CampaignSpec, run_campaign
+from repro.baselines import (
+    BOTTOM,
+    run_ben_or,
+    run_collectors,
+    run_dolev_strong,
+    run_phase_king,
+    run_trb,
+)
+from repro.core import ConsensusRun, run_consensus
+from repro.harness import (
+    ExecutionRequest,
+    ProtocolSpec,
+    RoundProfiler,
+    TraceRecorder,
+    available_protocols,
+    execute,
+    protocol_spec,
+    register_protocol,
+)
+from repro.params import ProtocolParams
+from repro.runtime import result_to_dict
+
+
+def mixed(n):
+    return [pid % 2 for pid in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Registry basics.
+def test_all_protocols_registered():
+    names = available_protocols()
+    assert set(names) >= {
+        "algorithm1", "tradeoff", "early-stopping", "multivalued",
+        "ben-or", "phase-king", "dolev-strong", "trb", "collectors",
+    }
+
+
+def test_sweepable_filter_excludes_collectors():
+    sweepable = available_protocols(sweepable=True)
+    assert "collectors" not in sweepable
+    assert "ben-or" in sweepable
+    assert "collectors" in available_protocols(sweepable=False)
+
+
+def test_unknown_protocol_raises_with_choices():
+    with pytest.raises(ValueError, match="unknown protocol"):
+        protocol_spec("nope")
+
+
+def test_duplicate_registration_rejected():
+    spec = protocol_spec("ben-or")
+    with pytest.raises(ValueError, match="already registered"):
+        register_protocol(spec)
+    # replace=True is the explicit override path.
+    assert register_protocol(spec, replace=True) is spec
+
+
+def test_campaign_t_defaults_to_params_max_faults():
+    params = ProtocolParams.practical()
+    assert protocol_spec("algorithm1").campaign_t(64, params) == (
+        params.max_faults(64)
+    )
+    assert protocol_spec("ben-or").campaign_t(64, params) == 8
+    assert protocol_spec("phase-king").campaign_t(64, params) == 8
+
+
+# ---------------------------------------------------------------------------
+# execute() semantics.
+def test_execute_requires_inputs_or_n():
+    with pytest.raises(ValueError, match="needs `inputs` or an explicit `n`"):
+        execute("trb")
+    with pytest.raises(ValueError, match="needs an input vector"):
+        execute("algorithm1", n=16)
+
+
+def test_execute_accepts_spec_object():
+    run = execute(protocol_spec("ben-or"), mixed(8), seed=2)
+    assert run.decision in (0, 1)
+
+
+def test_execute_matches_legacy_wrapper_exactly():
+    inputs = mixed(32)
+    adversary = lambda: SilenceAdversary(range(1))  # noqa: E731
+    via_wrapper = run_consensus(inputs, adversary=adversary(), seed=5)
+    via_execute = execute("algorithm1", inputs, adversary=adversary(), seed=5)
+    assert json.dumps(
+        result_to_dict(via_wrapper.result), sort_keys=True
+    ) == json.dumps(result_to_dict(via_execute.result), sort_keys=True)
+
+
+def test_execute_threads_observers():
+    recorder = TraceRecorder(probe=None)
+    profiler = RoundProfiler()
+    run = execute(
+        "phase-king", mixed(16), t=2, seed=1,
+        observers=(recorder, profiler),
+    )
+    assert len(recorder.rounds) == run.metrics.rounds
+    assert profiler.rounds == run.metrics.rounds
+
+
+def test_execute_options_mapping_and_kwargs_merge():
+    run = execute(
+        "tradeoff", mixed(16), seed=1, options={"x": 2},
+    )
+    assert run.request.option("x") == 2
+    run = execute("tradeoff", mixed(16), seed=1, options={"x": 2}, x=4)
+    # Keyword options win over the mapping.
+    assert run.request.option("x") == 4
+
+
+def test_execution_request_is_read_only_mapping():
+    run = execute("ben-or", mixed(8), seed=0, max_phases=4)
+    request = run.request
+    assert isinstance(request, ExecutionRequest)
+    assert request.option("max_phases") == 4
+    assert request.option("missing", "default") == "default"
+    with pytest.raises(TypeError):
+        request.options["max_phases"] = 9
+
+
+# ---------------------------------------------------------------------------
+# ConsensusRun tuple compatibility for the baseline runners.
+def test_baseline_runners_return_consensus_runs():
+    runs = {
+        "ben-or": run_ben_or(mixed(8), seed=3),
+        "phase-king": run_phase_king(mixed(16), 2, seed=3),
+        "dolev-strong": run_dolev_strong(mixed(8), 1, seed=3),
+        "trb": run_trb(8, 0, 1, 1, seed=3),
+        "collectors": run_collectors(8, 0, None, seed=3),
+    }
+    for name, run in runs.items():
+        assert isinstance(run, ConsensusRun), name
+        result, processes = run  # tuple unpacking preserved
+        assert result is run.result and processes is run.processes, name
+        assert run[0] is run.result and run[1] is run.processes, name
+        assert len(run) == 2, name
+        assert len(processes) == run.result.n, name
+
+
+def test_trb_indexing_and_decision():
+    run = run_trb(16, 0, 9, 2, adversary=SilenceAdversary([0]), seed=7)
+    assert run[0].time_to_agreement() >= 1
+    assert run.decision in (9, BOTTOM)
+
+
+def test_run_dolev_strong_agrees_with_manual_metrics():
+    run = run_dolev_strong(mixed(12), 2, seed=4)
+    assert run.decision in (0, 1)
+    # t + 1 communication rounds.
+    assert run.metrics.rounds == 3
+
+
+# ---------------------------------------------------------------------------
+# Campaign integration: baselines sweep through the registry.
+def test_campaign_runs_ben_or_cells():
+    spec = CampaignSpec(
+        name="harness-ben-or",
+        protocol="ben-or",
+        ns=[16],
+        adversaries=["none", "silence"],
+        seeds=[0],
+    )
+    records = run_campaign(spec)
+    assert [r["adversary"] for r in records] == ["none", "silence"]
+    for record in records:
+        assert record["protocol"] == "ben-or"
+        assert record["t"] == 2
+        assert record["decision"] in (0, 1)
+        assert record["rounds"] >= 1
+    assert records[1]["faulty"] == [0, 1]
+
+
+def test_campaign_runs_trb_cells():
+    spec = CampaignSpec(
+        name="harness-trb",
+        protocol="trb",
+        ns=[16],
+        adversaries=["silence"],
+        seeds=[0],
+        options={"sender": 1, "value": 7},
+    )
+    record = run_campaign(spec)[0]
+    assert record["protocol"] == "trb"
+    assert record["sender"] == 1
+    # Sender 1 is silenced by the adversary, so the BOTTOM delivery is a
+    # legal outcome; all processes still agree on it.
+    assert record["decision"] in (7, "BOTTOM")
+    assert record["delivery_rounds"]
+
+    no_faults = CampaignSpec(
+        name="harness-trb-clean",
+        protocol="trb",
+        ns=[16],
+        adversaries=["none"],
+        seeds=[0],
+        options={"sender": 1, "value": 7},
+    )
+    assert run_campaign(no_faults)[0]["decision"] == 7
+
+
+def test_campaign_rejects_non_sweepable_protocol():
+    with pytest.raises(ValueError, match="unknown protocol"):
+        CampaignSpec(name="x", protocol="collectors")
+
+
+def test_campaign_capture_channels():
+    spec = CampaignSpec(
+        name="harness-capture",
+        protocol="ben-or",
+        ns=[16],
+        adversaries=["silence"],
+        seeds=[0],
+        capture=["trace", "profile"],
+    )
+    record = run_campaign(spec)[0]
+    trace = record["trace"]
+    assert trace["corruption_rounds"] == {"0": 0, "1": 0}
+    assert trace["total_omissions"] > 0
+    assert set(trace["decision_rounds"]) == {str(pid) for pid in range(16)}
+    assert set(record["profile"]) == {
+        "rounds", "wall_time", "compute", "adversary", "delivery", "overhead"
+    }
+    assert record["profile"]["rounds"] >= record["rounds"]
+    json.dumps(record)  # capture payloads stay JSON-safe
+
+
+def test_capture_is_not_part_of_cell_identity():
+    base = CampaignSpec(
+        name="harness-resume", protocol="ben-or", ns=[16],
+        adversaries=["none"], seeds=[0],
+    )
+    records = run_campaign(base)
+    with_capture = CampaignSpec(
+        name="harness-resume", protocol="ben-or", ns=[16],
+        adversaries=["none"], seeds=[0], capture=["profile"],
+    )
+    resumed = run_campaign(with_capture, resume_from=records)
+    # The plain record satisfied the cell, so nothing was re-run.
+    assert resumed == records
+
+
+def test_campaign_rejects_unknown_capture():
+    with pytest.raises(ValueError, match="unknown capture"):
+        CampaignSpec(name="x", capture=["flamegraph"])
+
+
+# ---------------------------------------------------------------------------
+# Registering a custom protocol makes it sweepable immediately.
+def test_custom_protocol_roundtrip():
+    from repro.baselines.phase_king import PhaseKingProcess
+
+    def build(request):
+        t = request.t if request.t is not None else 1
+        return (
+            [
+                PhaseKingProcess(pid, request.n, request.inputs[pid], t)
+                for pid in range(request.n)
+            ],
+            t,
+        )
+
+    name = "test-custom-phase-king"
+    spec = ProtocolSpec(name=name, summary="test", build=build)
+    register_protocol(spec)
+    try:
+        assert name in available_protocols(sweepable=True)
+        run = execute(name, mixed(8), seed=0)
+        assert run.decision in (0, 1)
+        campaign = CampaignSpec(
+            name="custom", protocol=name, ns=[8], adversaries=["none"],
+            seeds=[0],
+        )
+        record = run_campaign(campaign)[0]
+        assert record["protocol"] == name
+    finally:
+        from repro.harness.registry import _REGISTRY
+
+        _REGISTRY.pop(name, None)

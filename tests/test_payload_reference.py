@@ -5,6 +5,7 @@ this module keeps the original recursive definition as an executable
 specification and checks the two agree on generated payloads.
 """
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.runtime import payload_bits
@@ -72,3 +73,63 @@ def test_sets_match(items):
     assert payload_bits(frozenset(items)) == reference_payload_bits(
         frozenset(items)
     )
+
+
+# ---------------------------------------------------------------------------
+# Golden values, one (or more) per dispatch branch of the optimized
+# implementation.  Hand-derived from the costing model: ints cost
+# max(1, bit_length) + 1, None/bool cost 1, floats 64, str/bytes 8 per byte
+# + 8, containers 2 + per-item (+1 separator), dicts 2 + key + value + 1.
+GOLDEN = [
+    # exact-int fast path
+    (0, 2),
+    (1, 2),
+    (5, 4),
+    (-5, 4),
+    (2**40, 42),
+    # None / bool branch
+    (None, 1),
+    (True, 1),
+    (False, 1),
+    # float branch
+    (1.5, 64),
+    (0.0, 64),
+    # str / bytes / bytearray branch
+    ("", 8),
+    ("ab", 24),
+    (b"ab", 24),
+    (bytearray(b"ab"), 24),
+    # tuple / list branch (including the all-int fast path and nesting)
+    ((), 2),
+    ([], 2),
+    ((1, 2), 9),
+    ([1, 2], 9),
+    (((1,),), 8),
+    (("a", 1), 22),
+    # set / frozenset branch
+    (set(), 2),
+    ({3}, 6),
+    (frozenset({3}), 6),
+    # dict branch
+    ({}, 2),
+    ({1: 2}, 8),
+]
+
+
+@pytest.mark.parametrize("payload,expected", GOLDEN,
+                         ids=[repr(p)[:30] for p, _ in GOLDEN])
+def test_payload_bits_golden(payload, expected):
+    assert payload_bits(payload) == expected
+    assert reference_payload_bits(payload) == expected
+
+
+def test_int_subclass_uses_fallback_branch():
+    class Tagged(int):
+        pass
+
+    assert payload_bits(Tagged(5)) == payload_bits(5) == 4
+
+
+def test_unsupported_payload_type_raises():
+    with pytest.raises(TypeError):
+        payload_bits(object())

@@ -131,7 +131,7 @@ class TestFixedLengthBinary:
         n = 33
         processes = [BinaryRunner(pid, n, pid % 2, 1) for pid in range(n)]
         network = SyncNetwork(processes, seed=6)
-        result = network.run()
+        network.run()
         consumed = {process.rounds_consumed for process in processes}
         assert len(consumed) == 1  # the lockstep guarantee
 
@@ -153,6 +153,6 @@ class TestFixedLengthBinary:
         n, t = 33, 1
         processes = [BinaryRunner(pid, n, 0, t) for pid in range(n)]
         network = SyncNetwork(processes, seed=9)
-        result = network.run()
+        network.run()
         expected = core_total_rounds(n, PARAMS) + (t + 1) + 1
         assert processes[0].rounds_consumed == expected
