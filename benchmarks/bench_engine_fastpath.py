@@ -1,0 +1,204 @@
+"""Round-engine multicast fast path vs the legacy per-message path.
+
+An all-to-all broadcast round is the paper's dominant traffic shape (every
+phase of Algorithm 3 fans the same payload out to large committees), and it
+is exactly where the per-message engine wasted work: one ``payload_bits``
+call, one :class:`Message` construction, and one outbox/bucket entry per
+copy.  The :class:`Multicast` fast path queues one record per broadcast,
+sizes the payload once, and materializes per-recipient views only at inbox
+delivery.
+
+This bench pits the two APIs against each other on the same workload:
+
+* *legacy* — an explicit ``env.send`` loop over all other processes (the
+  pre-multicast idiom, still fully supported);
+* *fastpath* — one ``env.broadcast`` per round.
+
+Both executions must be byte-identical — same decisions, same rounds, same
+value for every :class:`Metrics` counter and per-round series — and the
+fast path must be at least ``--threshold`` times faster (2.5x at the
+default n=512; the ``--quick`` CI smoke run uses a smaller instance and a
+softer bar because shared runners are noisy).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_fastpath.py
+    PYTHONPATH=src python benchmarks/bench_engine_fastpath.py --quick \
+        --json BENCH_engine_fastpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro.runtime import Metrics, SyncNetwork, SyncProcess
+
+
+def certificate_payload(pid: int, round_no: int) -> tuple:
+    """A protocol-shaped broadcast payload: tag, round, sender, value, a
+    membership mask, and a small nested certificate tuple (the recursive
+    ``payload_bits`` case every real phase message exercises)."""
+    return (
+        3,
+        round_no,
+        pid,
+        pid & 7,
+        1 << (pid % 61),
+        (pid, round_no, 1, 0, 1, pid ^ round_no),
+    )
+
+
+class LoopSender(SyncProcess):
+    """All-to-all via the legacy idiom: one ``env.send`` per recipient."""
+
+    rounds = 4
+
+    def program(self, env):
+        for round_no in range(self.rounds):
+            payload = certificate_payload(self.pid, round_no)
+            for recipient in range(self.n):
+                if recipient != self.pid:
+                    env.send(recipient, payload)
+            yield
+        env.decide(0)
+
+
+class MulticastSender(SyncProcess):
+    """All-to-all via the redesigned API: one ``env.broadcast`` per round."""
+
+    rounds = 4
+
+    def program(self, env):
+        for round_no in range(self.rounds):
+            env.broadcast(certificate_payload(self.pid, round_no))
+            yield
+        env.decide(0)
+
+
+def fingerprint(result) -> dict[str, Any]:
+    """Everything that must match byte-for-byte between the two paths."""
+    metrics: Metrics = result.metrics
+    return {
+        "decisions": result.decisions,
+        "rounds": result.rounds,
+        "all_terminated": result.all_terminated,
+        "metrics": metrics.summary(),
+        "messages_per_round": metrics.messages_per_round,
+        "bits_per_round": metrics.bits_per_round,
+    }
+
+
+def run_once(process_cls, n: int, rounds: int, seed: int):
+    process_cls = type(
+        process_cls.__name__, (process_cls,), {"rounds": rounds}
+    )
+    network = SyncNetwork(
+        [process_cls(pid, n) for pid in range(n)], seed=seed
+    )
+    started = time.perf_counter()
+    result = network.run()
+    return time.perf_counter() - started, result
+
+
+def bench(n: int, rounds: int, repeats: int, seed: int) -> dict[str, Any]:
+    """Interleaved best-of-``repeats`` timing of both paths."""
+    best = {"legacy": float("inf"), "fastpath": float("inf")}
+    prints: dict[str, dict[str, Any]] = {}
+    for _ in range(repeats):
+        for name, cls in (
+            ("legacy", LoopSender),
+            ("fastpath", MulticastSender),
+        ):
+            elapsed, result = run_once(cls, n, rounds, seed)
+            best[name] = min(best[name], elapsed)
+            prints[name] = fingerprint(result)
+    copies = n * (n - 1) * rounds
+    return {
+        "n": n,
+        "rounds": rounds,
+        "repeats": repeats,
+        "message_copies": copies,
+        "legacy_seconds": best["legacy"],
+        "fastpath_seconds": best["fastpath"],
+        "legacy_copies_per_second": copies / best["legacy"],
+        "fastpath_copies_per_second": copies / best["fastpath"],
+        "speedup": best["legacy"] / best["fastpath"],
+        "identical": prints["legacy"] == prints["fastpath"],
+        "metrics": prints["fastpath"]["metrics"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration: n=128, 2 repeats, 1.3x bar",
+    )
+    parser.add_argument("--n", type=int, default=None, help="process count")
+    parser.add_argument(
+        "--rounds", type=int, default=4, help="broadcast rounds per run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="interleaved repetitions"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="minimum accepted speedup (default 2.5, or 1.3 with --quick)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the result JSON"
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (128 if args.quick else 512)
+    repeats = (
+        args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    )
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else (1.3 if args.quick else 2.5)
+    )
+
+    record = bench(n=n, rounds=args.rounds, repeats=repeats, seed=7)
+    record["threshold"] = threshold
+    record["quick"] = args.quick
+
+    print(
+        f"n={record['n']} rounds={record['rounds']} "
+        f"copies={record['message_copies']}"
+    )
+    print(
+        f"legacy   (send loop):  {record['legacy_seconds']:.3f} s  "
+        f"({record['legacy_copies_per_second']:,.0f} copies/s)"
+    )
+    print(
+        f"fastpath (broadcast):  {record['fastpath_seconds']:.3f} s  "
+        f"({record['fastpath_copies_per_second']:,.0f} copies/s)"
+    )
+    print(f"speedup: {record['speedup']:.2f}x (threshold {threshold}x)")
+    print(f"byte-identical executions: {record['identical']}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if not record["identical"]:
+        print("FAIL: executions diverged between the two paths")
+        return 1
+    if record["speedup"] < threshold:
+        print("FAIL: speedup below threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,11 @@ def test_rounds_linear_in_value_width(benchmark):
     def workload():
         rows = []
         for bits in (1, 2, 4, 8):
-            result, _ = run_multivalued_consensus(
+            result = run_multivalued_consensus(
                 [pid % (1 << bits) for pid in range(N)],
                 value_bits=bits,
                 seed=41,
-            )
+            ).result
             rows.append(
                 [bits, result.time_to_agreement(), result.metrics.bits_sent]
             )
@@ -48,13 +48,13 @@ def test_strong_validity_across_workloads(benchmark):
         for trial in range(4):
             proposals = [rng.randrange(1, 16) for _ in range(N)]
             adversary = SilenceAdversary([trial]) if trial % 2 else None
-            result, _ = run_multivalued_consensus(
+            result = run_multivalued_consensus(
                 proposals,
                 value_bits=4,
                 adversary=adversary,
                 t=1,
                 seed=50 + trial,
-            )
+            ).result
             decision = result.agreement_value()
             outcomes.append(
                 [trial, decision, decision in proposals]

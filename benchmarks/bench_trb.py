@@ -16,7 +16,7 @@ from repro.baselines import run_trb
 def test_rounds_independent_of_budget_without_faults(benchmark):
     def workload():
         return [
-            (t, run_trb(32, 0, 9, t, seed=11)[0].time_to_agreement())
+            (t, run_trb(32, 0, 9, t, seed=11).result.time_to_agreement())
             for t in (1, 3, 6, 9)
         ]
 
@@ -44,9 +44,9 @@ def test_rounds_track_actual_failures(benchmark):
             # be possible) and further processes in consecutive rounds.
             schedule = {k: [k] for k in range(f)}
             adversary = StaticCrashAdversary(schedule) if f else None
-            result, _ = run_trb(
+            result = run_trb(
                 n, sender=0, value=3, t=t, adversary=adversary, seed=12
-            )
+            ).result
             values = set(result.non_faulty_decisions().values())
             rows.append([f, result.time_to_agreement(), sorted(values)])
         return rows
@@ -69,10 +69,10 @@ def test_faulty_sender_consistency(benchmark):
     def workload():
         outcomes = []
         for seed in range(5):
-            result, _ = run_trb(
+            result = run_trb(
                 32, sender=0, value=9, t=4,
                 adversary=SilenceAdversary([0]), seed=seed,
-            )
+            ).result
             outcomes.append(
                 sorted(set(result.non_faulty_decisions().values()))
             )

@@ -78,14 +78,14 @@ def main() -> None:
             if slot % 2 == 0
             else RandomOmissionAdversary(0.8, seed=slot)
         )
-        result, _ = run_multivalued_consensus(
+        result = run_multivalued_consensus(
             proposals,
             value_bits=VALUE_BITS,
             t=t,
             adversary=adversary,
             params=params,
             seed=500 + slot,
-        )
+        ).result
         decided = result.agreement_value()
         ever_faulty |= set(result.faulty)
         op, key, value = decode(decided)

@@ -151,12 +151,12 @@ def measure_dolev_strong(
     points = []
     for n in ns:
         t = max(1, n // fault_fraction)
-        result, _ = run_dolev_strong(
+        result = run_dolev_strong(
             mixed_inputs(n),
             t,
             adversary=adversary_factory(n, t),
             seed=seed + n,
-        )
+        ).result
         decision = result.agreement_value()
         metrics = result.metrics
         points.append(
@@ -185,12 +185,12 @@ def measure_phase_king(
     points = []
     for n in ns:
         t = max(1, min(n // fault_fraction, (n - 1) // 4))
-        result, _ = run_phase_king(
+        result = run_phase_king(
             mixed_inputs(n),
             t,
             adversary=adversary_factory(n, t),
             seed=seed + n,
-        )
+        ).result
         decision = result.agreement_value()
         metrics = result.metrics
         points.append(
@@ -218,12 +218,12 @@ def measure_ben_or(
     points = []
     for n in ns:
         t = max(1, n // fault_fraction)
-        result, _ = run_ben_or(
+        result = run_ben_or(
             mixed_inputs(n),
             t=t,
             adversary=SilenceAdversary(range(t)),
             seed=seed + n,
-        )
+        ).result
         decision = result.agreement_value()
         metrics = result.metrics
         points.append(

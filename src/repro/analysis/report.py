@@ -377,12 +377,12 @@ def experiment_early_stopping(params: ProtocolParams) -> ExperimentRecord:
 
 def experiment_trb(params: ProtocolParams) -> ExperimentRecord:
     fault_free_rounds = {
-        run_trb(32, 0, 9, t, seed=11)[0].time_to_agreement()
+        run_trb(32, 0, 9, t, seed=11).result.time_to_agreement()
         for t in (1, 4, 8)
     }
-    silenced, _ = run_trb(
+    silenced = run_trb(
         32, sender=0, value=9, t=4, adversary=SilenceAdversary([0]), seed=12
-    )
+    ).result
     deliveries = set(silenced.non_faulty_decisions().values())
     ok = len(fault_free_rounds) == 1 and len(deliveries) == 1
     return ExperimentRecord(

@@ -244,7 +244,8 @@ def measure_amortization(
         ("crash", CrashCollectors(victims) if t else None),
         ("omission", ResponseStarver(victims) if t else None),
     ):
-        result, processes = run_collectors(n, t, adversary, seed=seed)
+        run = run_collectors(n, t, adversary, seed=seed)
+        result, processes = run.result, run.processes
         victim_requests = max(
             (processes[pid].contacted for pid in victims), default=0
         )

@@ -113,8 +113,8 @@ def group_bits_aggregation(
             stage_counts.setdefault(my_child_index, (my_ones, my_zeros))
 
         # ---- Round 2: transmitters acknowledge the sources they heard. ---
-        for sender in round1_senders:
-            env.send(sender, (TAG_ACK,))
+        if round1_senders:
+            env.send_many(round1_senders, (TAG_ACK,))
         inbox = yield
         if operative:
             # +1: a source always (implicitly) confirms itself.
@@ -129,6 +129,11 @@ def group_bits_aggregation(
                 operative = False
 
         # ---- Round 3: transmitters push merged counts back to everyone. --
+        # Members of the same parent bag are contiguous in pid order and
+        # receive identical merged payloads, so each run becomes one
+        # multicast; the flat recipient order is the per-member loop's.
+        run_payload: tuple | None = None
+        run_members: list[int] = []
         for member in others:
             member_parent = tree.bag_index(stage, member)
             m_left, m_right = tree.child_indices(stage, member_parent)
@@ -136,7 +141,16 @@ def group_bits_aggregation(
             right_entry = (
                 stage_counts.get(m_right) if m_right is not None else None
             )
-            env.send(member, (TAG_MERGED, left_entry, right_entry))
+            payload = (TAG_MERGED, left_entry, right_entry)
+            if payload == run_payload:
+                run_members.append(member)
+                continue
+            if run_members:
+                env.send_many(run_members, run_payload)
+            run_payload = payload
+            run_members = [member]
+        if run_members:
+            env.send_many(run_members, run_payload)
         inbox = yield
         if operative:
             merged_messages = [

@@ -32,6 +32,7 @@ spreading-graph connectivity.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Sequence
@@ -320,7 +321,8 @@ class ConsensusRun:
 
     Unpacks like the historical ``(result, processes)`` tuple —
     ``result, processes = run_ben_or(...)`` and ``run_trb(...)[0]`` keep
-    working — while offering the richer accessors below.
+    working but emit :class:`DeprecationWarning`; use the named ``result`` /
+    ``processes`` fields and the richer accessors below instead.
     """
 
     result: ExecutionResult
@@ -330,10 +332,22 @@ class ConsensusRun:
     request: Any = None
 
     def __iter__(self):
+        warnings.warn(
+            "tuple-unpacking a ConsensusRun is deprecated; use the named "
+            "fields run.result and run.processes instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         yield self.result
         yield self.processes
 
     def __getitem__(self, index):
+        warnings.warn(
+            "indexing a ConsensusRun like a tuple is deprecated; use the "
+            "named fields run.result and run.processes instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return (self.result, self.processes)[index]
 
     def __len__(self) -> int:

@@ -100,14 +100,14 @@ class ConsensusLog:
             decision = run.decision
             result = run.result
         else:
-            result, _ = run_multivalued_consensus(
+            result = run_multivalued_consensus(
                 proposals,
                 value_bits=self.value_bits,
                 t=self.t,
                 adversary=adversary,
                 params=self.params,
                 seed=slot_seed,
-            )
+            ).result
             decision = result.agreement_value()
         entry = LogEntry(
             slot=slot,

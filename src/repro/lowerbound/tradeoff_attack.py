@@ -137,14 +137,14 @@ def measure_tradeoff_product(
     for k in coin_counts:
         adversary = BalancingCrashAdversary()
         coin_pids = frozenset(range(k)) if k < n else None
-        result, _ = run_ben_or(
+        result = run_ben_or(
             inputs,
             t=t,
             adversary=adversary,
             coin_pids=coin_pids,
             seed=seed,
             max_phases=max_phases,
-        )
+        ).result
         try:
             # The paper's time metric: last non-faulty decision.
             rounds = result.time_to_agreement()

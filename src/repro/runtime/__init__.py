@@ -2,7 +2,10 @@
 
 Public surface:
 
-* :class:`Message`, :func:`payload_bits` — metered point-to-point messages;
+* :class:`Message`, :class:`Multicast`, :class:`MessageBatch`,
+  :func:`payload_bits` — metered point-to-point messages, shared-payload
+  multicast records, and the flat per-round batch the engine and the
+  adversary operate on;
 * :class:`CountingRandom` — the counted random source;
 * :class:`SyncProcess`, :class:`ProcessEnv` — generator-based processes;
 * :class:`SyncNetwork`, :class:`Adversary`, :class:`AdversaryAction`,
@@ -13,7 +16,14 @@ Public surface:
 * :class:`Metrics` — rounds / communication bits / randomness accounting.
 """
 
-from .messages import MESSAGE_OVERHEAD_BITS, Message, payload_bits
+from .messages import (
+    MESSAGE_OVERHEAD_BITS,
+    Message,
+    MessageBatch,
+    MessageRecord,
+    Multicast,
+    payload_bits,
+)
 from .metrics import Metrics
 from .observers import (
     CallbackObserver,
@@ -58,6 +68,9 @@ from .randomness import (
 __all__ = [
     "MESSAGE_OVERHEAD_BITS",
     "Message",
+    "MessageBatch",
+    "MessageRecord",
+    "Multicast",
     "payload_bits",
     "Metrics",
     "Adversary",

@@ -1,4 +1,4 @@
-"""Point-to-point messages and their bit-size accounting.
+"""Point-to-point messages, multicast records, and bit-size accounting.
 
 The paper's communication complexity is measured in *bits* sent over
 point-to-point channels (Section 2).  Every payload handed to
@@ -9,11 +9,24 @@ benchmark numbers are directly comparable with the paper's
 ``payload_bits`` is the hottest function in large simulations, so it
 dispatches on exact types with the common cases (ints, tuples of ints)
 first; the semantics are unchanged from the reference recursive definition.
+
+The engine's broadcast fast path rides two further types defined here:
+
+* :class:`Multicast` — one sender fanning a single shared payload (and a
+  single precomputed ``bits`` value) out to many recipients, queued as one
+  record instead of one :class:`Message` per recipient;
+* :class:`MessageBatch` — a round's entire outbound traffic as a flat,
+  lazily-expanded ``Sequence[Message]`` over a mix of :class:`Message` and
+  :class:`Multicast` records.  Adversary omit indices address the flat
+  per-copy positions, so multicast and per-message executions agree on
+  every index, counter, and inbox byte-for-byte.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from bisect import bisect_right
+from collections.abc import Sequence
+from typing import Any, Iterable, Iterator
 
 #: Flat per-message overhead charged on top of the payload, covering the
 #: sender id and message framing.  One machine word keeps small control
@@ -96,4 +109,204 @@ class Message:
         return (
             f"Message(sender={self.sender}, recipient={self.recipient}, "
             f"payload={self.payload!r}, bits={self.bits})"
+        )
+
+
+class Multicast:
+    """One shared payload fanned out by one sender to many recipients.
+
+    Queued by :meth:`ProcessEnv.send_many` / :meth:`ProcessEnv.broadcast` as
+    a *single* outbox record: the payload is sized once (``bits`` is the
+    per-copy charge, identical to what :meth:`ProcessEnv.send` would have
+    computed for each copy) and the engine expands it into per-recipient
+    :class:`Message` views only where a concrete copy is needed — inbox
+    delivery, trace capture, adversary inspection.
+
+    Attributes
+    ----------
+    sender:
+        Sending process id.
+    recipients:
+        Tuple of recipient pids, in fan-out order; each contributes one
+        flat index to the round's :class:`MessageBatch`.
+    payload:
+        The shared (treated-as-immutable) protocol data.
+    bits:
+        Per-copy size including :data:`MESSAGE_OVERHEAD_BITS`.
+    """
+
+    __slots__ = ("sender", "recipients", "payload", "bits")
+
+    def __init__(
+        self,
+        sender: int,
+        recipients: Iterable[int],
+        payload: Any,
+        bits: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.recipients = (
+            recipients if type(recipients) is tuple else tuple(recipients)
+        )
+        self.payload = payload
+        self.bits = (
+            bits if bits else payload_bits(payload) + MESSAGE_OVERHEAD_BITS
+        )
+
+    def message(self, position: int) -> Message:
+        """Materialize the per-recipient view at ``position``."""
+        return Message(
+            self.sender, self.recipients[position], self.payload, self.bits
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Multicast(sender={self.sender}, "
+            f"recipients={self.recipients!r}, payload={self.payload!r}, "
+            f"bits={self.bits})"
+        )
+
+
+#: An outbox entry: a point-to-point message or a multicast record.
+MessageRecord = Message | Multicast
+
+
+class MessageBatch(Sequence):
+    """A round's outbound traffic as a flat, lazily-expanded message list.
+
+    Wraps the ordered list of :class:`Message` / :class:`Multicast` records
+    the processes queued this round and presents it as a
+    ``Sequence[Message]``: ``batch[i]`` is the i-th *per-copy* message, with
+    a multicast of k recipients occupying k consecutive flat indices in
+    fan-out order.  Adversary omit indices, the :class:`NetworkView`
+    helpers, and the :class:`Metrics` counters all use these flat
+    positions, which makes them byte-identical to an execution that queued
+    one :class:`Message` per copy.
+
+    Per-copy :class:`Message` views are materialized on demand
+    (``__getitem__`` / iteration); the aggregate queries (:meth:`total_bits`,
+    ``len``, :meth:`endpoints_at`, the per-sender/per-recipient index
+    builders) answer from the records without materializing anything.
+    """
+
+    __slots__ = ("records", "offsets", "_total", "_sender_sorted")
+
+    def __init__(self, records: Iterable[MessageRecord] = ()) -> None:
+        records = records if type(records) is list else list(records)
+        offsets: list[int] = []
+        total = 0
+        sender_sorted = True
+        previous = -1
+        for record in records:
+            offsets.append(total)
+            total += (
+                len(record.recipients) if type(record) is Multicast else 1
+            )
+            sender = record.sender
+            if sender < previous:
+                sender_sorted = False
+            previous = sender
+        self.records = records
+        #: Flat index of each record's first copy (parallel to ``records``).
+        self.offsets = offsets
+        self._total = total
+        self._sender_sorted = sender_sorted
+
+    # ------------------------------------------------------------------
+    @property
+    def sender_sorted(self) -> bool:
+        """True when records appear in non-decreasing sender order (always
+        the case for engine-built batches, where processes advance in pid
+        order) — lets delivery skip the per-round sender bucketing."""
+        return self._sender_sorted
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._copy_at(position)
+                for position in range(*index.indices(self._total))
+            ]
+        if index < 0:
+            index += self._total
+        if not 0 <= index < self._total:
+            raise IndexError(
+                f"message index {index} out of range ({self._total} copies)"
+            )
+        return self._copy_at(index)
+
+    def _copy_at(self, index: int) -> Message:
+        position = bisect_right(self.offsets, index) - 1
+        record = self.records[position]
+        if type(record) is Multicast:
+            return record.message(index - self.offsets[position])
+        return record
+
+    def __iter__(self) -> Iterator[Message]:
+        for record in self.records:
+            if type(record) is Multicast:
+                sender = record.sender
+                payload = record.payload
+                bits = record.bits
+                for recipient in record.recipients:
+                    yield Message(sender, recipient, payload, bits)
+            else:
+                yield record
+
+    # ------------------------------------------------------------------
+    def endpoints_at(self, index: int) -> tuple[int, int]:
+        """``(sender, recipient)`` of flat copy ``index`` — no
+        materialization, used by the engine's omission legality check."""
+        position = bisect_right(self.offsets, index) - 1
+        record = self.records[position]
+        if type(record) is Multicast:
+            return (
+                record.sender,
+                record.recipients[index - self.offsets[position]],
+            )
+        return record.sender, record.recipient
+
+    def total_bits(self) -> int:
+        """Sum of per-copy bits over the whole batch, from the records."""
+        total = 0
+        for record in self.records:
+            if type(record) is Multicast:
+                total += record.bits * len(record.recipients)
+            else:
+                total += record.bits
+        return total
+
+    def indices_by_sender(self) -> dict[int, list[int]]:
+        """Flat copy indices grouped by sender, in index order."""
+        by_sender: dict[int, list[int]] = {}
+        for record, base in zip(self.records, self.offsets):
+            if type(record) is Multicast:
+                indices = range(base, base + len(record.recipients))
+            else:
+                indices = (base,)
+            existing = by_sender.get(record.sender)
+            if existing is None:
+                by_sender[record.sender] = list(indices)
+            else:
+                existing.extend(indices)
+        return by_sender
+
+    def indices_by_recipient(self) -> dict[int, list[int]]:
+        """Flat copy indices grouped by recipient, in index order."""
+        by_recipient: dict[int, list[int]] = {}
+        setdefault = by_recipient.setdefault
+        for record, base in zip(self.records, self.offsets):
+            if type(record) is Multicast:
+                for position, recipient in enumerate(record.recipients):
+                    setdefault(recipient, []).append(base + position)
+            else:
+                setdefault(record.recipient, []).append(base)
+        return by_recipient
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageBatch({len(self.records)} records, "
+            f"{self._total} copies)"
         )

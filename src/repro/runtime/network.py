@@ -12,6 +12,15 @@ Each simulated round follows the paper's two-phase structure (Section 2):
    validates legality (corruption budget, omissions only at faulty processes)
    and delivers the surviving messages, to be consumed next round.
 
+The round's outbound traffic is a flat :class:`MessageBatch` over the
+records the processes queued — point-to-point :class:`Message` objects and
+:class:`Multicast` records (one shared payload, one precomputed size, many
+recipients).  Omit indices address the batch's flat per-copy positions, so
+adversary semantics, sender-ordered inboxes, and every :class:`Metrics`
+counter are byte-identical to the legacy per-message path
+(``SyncNetwork(multicast=False)``), while the engine sizes, meters, and
+dispatches broadcast traffic per record instead of per copy.
+
 The engine never trusts the strategy: illegal actions raise
 :class:`AdversaryProtocolError`.
 
@@ -26,10 +35,11 @@ without wrapping the adversary or monkeypatching hooks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from .messages import Message
+from .messages import Message, MessageBatch, Multicast
 from .metrics import Metrics
 from .observers import CallbackObserver, MetricsObserver, RoundObserver
 from .process import ProcessEnv, Program, SyncProcess
@@ -101,6 +111,11 @@ class NetworkView:
     ) -> None:
         self.round = round_no
         self.processes = processes
+        #: The round's outbound traffic as a flat ``Sequence[Message]`` —
+        #: a :class:`MessageBatch` for engine-built views, where multicast
+        #: copies occupy consecutive indices and materialize lazily on
+        #: ``view.messages[i]`` / iteration.  Omit indices address these
+        #: flat positions.
         self.messages = messages
         self.faulty = faulty
         self.budget_left = budget_left
@@ -115,13 +130,21 @@ class NetworkView:
 
     def _indexes(self) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
         if self._by_sender is None:
-            by_sender: dict[int, list[int]] = {}
-            by_recipient: dict[int, list[int]] = {}
-            for index, message in enumerate(self.messages):
-                by_sender.setdefault(message.sender, []).append(index)
-                by_recipient.setdefault(message.recipient, []).append(index)
-            self._by_sender = by_sender
-            self._by_recipient = by_recipient
+            messages = self.messages
+            if isinstance(messages, MessageBatch):
+                # Answer from the records — no per-copy materialization.
+                self._by_sender = messages.indices_by_sender()
+                self._by_recipient = messages.indices_by_recipient()
+            else:
+                by_sender: dict[int, list[int]] = {}
+                by_recipient: dict[int, list[int]] = {}
+                for index, message in enumerate(messages):
+                    by_sender.setdefault(message.sender, []).append(index)
+                    by_recipient.setdefault(
+                        message.recipient, []
+                    ).append(index)
+                self._by_sender = by_sender
+                self._by_recipient = by_recipient
         return self._by_sender, self._by_recipient
 
     # Convenience helpers used by concrete strategies -------------------
@@ -248,6 +271,7 @@ class SyncNetwork:
         on_round: Callable[[int, "SyncNetwork"], None] | None = None,
         reseed_at: tuple[int, int] | None = None,
         observers: Sequence[RoundObserver] = (),
+        multicast: bool = True,
     ) -> None:
         if not processes:
             raise ValueError("need at least one process")
@@ -274,14 +298,28 @@ class SyncNetwork:
         self.metrics = Metrics()
         self.faulty: set[int] = set()
         self.round = 0
+        # Per-round delivery totals accumulated by _deliver so the
+        # MetricsObserver does not need a second O(copies) pass.
+        self._delivered_bits = 0
+        self._lost_bits = 0
         #: The observer bus.  The engine's own accounting comes first so
         #: user observers read up-to-date Metrics series; the legacy
         #: ``on_round`` callback (if any) runs last, at the old hook's
-        #: position (end of round).
+        #: position (end of round) — :meth:`add_observer` keeps it pinned
+        #: there.
         self._observers: list[RoundObserver] = [MetricsObserver(self.metrics)]
         self._observers.extend(observers)
+        self._legacy_adapter: CallbackObserver | None = None
         if on_round is not None:
-            self._observers.append(CallbackObserver(on_round))
+            warnings.warn(
+                "SyncNetwork(on_round=...) is deprecated; pass the callback "
+                "as a RoundObserver via observers=[...] or add_observer() "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._legacy_adapter = CallbackObserver(on_round)
+            self._observers.append(self._legacy_adapter)
         #: Optional (round, seed): at the start of that round every
         #: process's random source is re-seeded from ``seed`` — the fork
         #: point used by rollout-based adversaries (future coins must be
@@ -293,6 +331,14 @@ class SyncNetwork:
         self.envs = [
             ProcessEnv(pid, n, self.sources[pid]) for pid in range(n)
         ]
+        #: Whether send_many/broadcast queue single Multicast records (the
+        #: fast path) or expand eagerly into per-copy Messages (the legacy
+        #: per-message path; byte-identical outcomes, kept for equivalence
+        #: tests and benchmarking).
+        self.multicast = multicast
+        if not multicast:
+            for env in self.envs:
+                env.expand_multicast = True
         self._programs: list[Program | None] = [
             process.program(self.envs[process.pid]) for process in self.processes
         ]
@@ -303,9 +349,18 @@ class SyncNetwork:
         """Attach a :class:`RoundObserver`; returns the network (chainable).
 
         Attach before :meth:`run` — observers joining mid-run would see a
-        partial hook sequence.
+        partial hook sequence.  The legacy ``on_round`` adapter (if any)
+        stays pinned at the end of the bus, as documented: observers added
+        here run before it.
         """
-        self._observers.append(observer)
+        if (
+            self._legacy_adapter is not None
+            and self._observers
+            and self._observers[-1] is self._legacy_adapter
+        ):
+            self._observers.insert(len(self._observers) - 1, observer)
+        else:
+            self._observers.append(observer)
         return self
 
     @property
@@ -326,9 +381,9 @@ class SyncNetwork:
         )
 
     # ------------------------------------------------------------------
-    def _advance_processes(self) -> list[Message]:
-        """Run the local-computation phase; collect all outbound messages."""
-        outbound: list[Message] = []
+    def _advance_processes(self) -> MessageBatch:
+        """Run the local-computation phase; collect the outbound batch."""
+        records: list[Message | Multicast] = []
         for pid, program in enumerate(self._programs):
             if program is None:
                 continue
@@ -346,15 +401,19 @@ class SyncNetwork:
                 self._programs[pid] = None
             # Messages queued before a final ``return`` are still sent: the
             # process completed its local computation phase this round.
-            outbound.extend(env.outbox)
-        return outbound
+            records.extend(env.outbox)
+        return MessageBatch(records)
 
-    def _apply_adversary(self, messages: list[Message]) -> list[Message]:
-        """Communication phase: let the adversary corrupt and omit."""
+    def _apply_adversary(self, batch: MessageBatch) -> set[int]:
+        """Communication phase: let the adversary corrupt and omit.
+
+        Returns the validated set of omitted flat message indices;
+        :meth:`_deliver` skips them without rebuilding the batch.
+        """
         view = NetworkView(
             round_no=self.round,
             processes=self.processes,
-            messages=messages,
+            messages=batch,
             faulty=frozenset(self.faulty),
             budget_left=self.t - len(self.faulty),
             decisions=self.current_decisions(),
@@ -374,50 +433,101 @@ class SyncNetwork:
         self.faulty |= new_corruptions
 
         omit = set(action.omit)
-        for index in omit:
-            if not 0 <= index < len(messages):
-                raise AdversaryProtocolError(
-                    f"omit index {index} out of range "
-                    f"({len(messages)} messages this round)"
-                )
-            message = messages[index]
-            if (
-                message.sender not in self.faulty
-                and message.recipient not in self.faulty
-            ):
-                raise AdversaryProtocolError(
-                    "omissions are only allowed on messages to/from faulty "
-                    f"processes; message {message.sender}->{message.recipient} "
-                    "touches none"
-                )
+        if omit:
+            total = len(batch)
+            faulty = self.faulty
+            for index in omit:
+                if not 0 <= index < total:
+                    raise AdversaryProtocolError(
+                        f"omit index {index} out of range "
+                        f"({total} messages this round)"
+                    )
+                sender, recipient = batch.endpoints_at(index)
+                if sender not in faulty and recipient not in faulty:
+                    raise AdversaryProtocolError(
+                        "omissions are only allowed on messages to/from "
+                        f"faulty processes; message {sender}->{recipient} "
+                        "touches none"
+                    )
         for observer in self._observers:
             observer.on_adversary_action(self.round, view, action, self)
-        return [
-            message
-            for index, message in enumerate(messages)
-            if index not in omit
-        ]
+        return omit
 
-    def _deliver(self, messages: list[Message]) -> None:
-        # Bucket by sender and append buckets in ascending-sender order, so
-        # every inbox comes out sender-sorted (intra-sender send order
-        # preserved) without re-sorting all n inboxes every round.
-        buckets: dict[int, list[Message]] = {}
-        for message in messages:
-            buckets.setdefault(message.sender, []).append(message)
+    def _deliver(self, batch: MessageBatch, omitted: set[int]) -> None:
+        """Place surviving copies into inboxes, in sender-sorted order.
+
+        Engine-built batches are already in ascending-sender order (the
+        local-computation phase advances processes in pid order), so the
+        legacy per-round sender bucketing reduces to a straight scan; a
+        stable record sort restores the invariant for hand-built outboxes.
+        Multicast records materialize one :class:`Message` view per
+        surviving copy here — the only place the fan-out is expanded.
+        """
         delivered: list[Message] = []
         lost: list[Message] = []
+        delivered_bits = 0
+        lost_bits = 0
         programs = self._programs
         inboxes = self._inboxes
-        for sender in sorted(buckets):
-            for message in buckets[sender]:
-                if programs[message.recipient] is None:
-                    # Recipient already terminated; the message is lost and
-                    # counts in neither delivered counter.
-                    lost.append(message)
+        delivered_append = delivered.append
+        make_message = Message
+
+        if batch.sender_sorted:
+            pairs = zip(batch.records, batch.offsets)
+        else:
+            pairs = sorted(
+                zip(batch.records, batch.offsets),
+                key=lambda pair: pair[0].sender,
+            )
+        # Fast path: nothing omitted and every recipient still live — the
+        # overwhelmingly common round shape.
+        clean = not omitted and self.live_count == self.n
+
+        for record, base in pairs:
+            if type(record) is Multicast:
+                sender = record.sender
+                payload = record.payload
+                bits = record.bits
+                recipients = record.recipients
+                if clean:
+                    copies = [
+                        make_message(sender, recipient, payload, bits)
+                        for recipient in recipients
+                    ]
+                    for message, recipient in zip(copies, recipients):
+                        inboxes[recipient].append(message)
+                    delivered.extend(copies)
+                    delivered_bits += bits * len(recipients)
                     continue
-                inboxes[message.recipient].append(message)
-                delivered.append(message)
+                for position, recipient in enumerate(recipients):
+                    if base + position in omitted:
+                        continue
+                    message = make_message(sender, recipient, payload, bits)
+                    if programs[recipient] is None:
+                        # Recipient already terminated; the message is lost
+                        # and counts in neither delivered counter.
+                        lost.append(message)
+                        lost_bits += bits
+                    else:
+                        inboxes[recipient].append(message)
+                        delivered_append(message)
+                        delivered_bits += bits
+            else:
+                if not clean:
+                    if base in omitted:
+                        continue
+                    if programs[record.recipient] is None:
+                        lost.append(record)
+                        lost_bits += record.bits
+                        continue
+                inboxes[record.recipient].append(record)
+                delivered_append(record)
+                delivered_bits += record.bits
+
+        # Totals the MetricsObserver picks up without a second O(copies)
+        # pass; other observers still see plain message lists.
+        self._delivered_bits = delivered_bits
+        self._lost_bits = lost_bits
         for observer in self._observers:
             observer.on_deliveries(self.round, delivered, lost, self)
 
@@ -458,8 +568,8 @@ class SyncNetwork:
                 break
             for observer in observers:
                 observer.on_messages_sent(self.round, outbound, self)
-            surviving = self._apply_adversary(outbound)
-            self._deliver(surviving)
+            omitted = self._apply_adversary(outbound)
+            self._deliver(outbound, omitted)
             for observer in observers:
                 observer.on_round_end(self.round, self)
             self.round += 1

@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from .messages import Message
+from .messages import Message, MessageBatch
 from .metrics import Metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
@@ -100,9 +100,13 @@ class MetricsObserver(RoundObserver):
     def on_messages_sent(
         self, round_no: int, outbound: Sequence[Message], network: "SyncNetwork"
     ) -> None:
-        self.metrics.record_round(
-            len(outbound), sum(message.bits for message in outbound)
-        )
+        # A MessageBatch answers the bit total from its records (one term
+        # per multicast) instead of materializing every per-copy view.
+        if isinstance(outbound, MessageBatch):
+            bits = outbound.total_bits()
+        else:
+            bits = sum(message.bits for message in outbound)
+        self.metrics.record_round(len(outbound), bits)
 
     def on_adversary_action(
         self,
@@ -120,13 +124,17 @@ class MetricsObserver(RoundObserver):
         lost: Sequence[Message],
         network: "SyncNetwork",
     ) -> None:
-        self.metrics.record_delivery(
-            len(delivered), sum(message.bits for message in delivered)
-        )
+        # The engine accumulates delivery bit totals while it expands the
+        # batch; fall back to summing for hand-driven dispatch.
+        delivered_bits = getattr(network, "_delivered_bits", None)
+        if delivered_bits is None:
+            delivered_bits = sum(message.bits for message in delivered)
+        self.metrics.record_delivery(len(delivered), delivered_bits)
         if lost:
-            self.metrics.record_lost(
-                len(lost), sum(message.bits for message in lost)
-            )
+            lost_bits = getattr(network, "_lost_bits", None)
+            if lost_bits is None:
+                lost_bits = sum(message.bits for message in lost)
+            self.metrics.record_lost(len(lost), lost_bits)
 
 
 class CallbackObserver(RoundObserver):

@@ -24,7 +24,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Generator, Iterable
 
-from .messages import MESSAGE_OVERHEAD_BITS, Message, payload_bits
+from .messages import (
+    MESSAGE_OVERHEAD_BITS,
+    Message,
+    MessageRecord,
+    Multicast,
+    payload_bits,
+)
 from .randomness import CountingRandom
 
 #: Type of a protocol program: yields None (round boundary), receives the
@@ -50,19 +56,33 @@ class ProcessEnv:
         "has_decided",
         "round",
         "decision_round",
+        "expand_multicast",
+        "_fanout_cache",
     )
 
     def __init__(self, pid: int, n: int, random_source: CountingRandom) -> None:
         self.pid = pid
         self.n = n
         self.random = random_source
-        self.outbox: list[Message] = []
+        self.outbox: list[MessageRecord] = []
         self.decision: Any = None
         self.has_decided = False
         #: Current round number (0-based), maintained by the engine.
         self.round = 0
         #: Round in which :meth:`decide` was first called (None = never).
         self.decision_round: int | None = None
+        #: When True, :meth:`send_many` / :meth:`broadcast` eagerly expand
+        #: into one :class:`Message` per recipient (the legacy per-message
+        #: path, byte-identical to an explicit loop of :meth:`send`) instead
+        #: of queueing a single :class:`Multicast` record.  Set by
+        #: ``SyncNetwork(multicast=False)``; exists for equivalence testing
+        #: and benchmarking, not for production use.
+        self.expand_multicast = False
+        # Cached (recipients-except-self, recipients-including-self) tuples
+        # so per-round broadcasts don't rebuild the O(n) fan-out list.
+        self._fanout_cache: tuple[tuple[int, ...], tuple[int, ...]] | None = (
+            None
+        )
 
     def send(self, recipient: int, payload: Any) -> None:
         """Queue a message for delivery at the end of this round."""
@@ -73,30 +93,63 @@ class ProcessEnv:
         self.outbox.append(Message(self.pid, recipient, payload))
 
     def send_many(self, recipients: Iterable[int], payload: Any) -> None:
-        """Queue the same payload to several recipients.
+        """Queue the same payload to several recipients as one multicast.
 
         The payload is sized once, not once per recipient — identical bits
-        on the wire, much cheaper to meter for wide fan-outs.
+        on the wire, much cheaper to queue and meter for wide fan-outs.  A
+        single :class:`Multicast` record enters the outbox; the engine
+        expands it into per-recipient :class:`Message` views only where a
+        concrete copy is needed.  Recipient order is preserved: the copies
+        occupy consecutive flat indices of the round's
+        :class:`MessageBatch` in exactly this order.
         """
-        bits = payload_bits(payload) + MESSAGE_OVERHEAD_BITS
-        pid, n, outbox = self.pid, self.n, self.outbox
+        recipients = (
+            recipients if type(recipients) is tuple else tuple(recipients)
+        )
+        n = self.n
         for recipient in recipients:
             if not 0 <= recipient < n:
                 raise ValueError(
                     f"recipient {recipient} out of range for n={n}"
                 )
-            outbox.append(Message(pid, recipient, payload, bits))
+        if not recipients:
+            return
+        if self.expand_multicast:
+            # Legacy per-message path: one eagerly-sized Message per copy,
+            # exactly as an explicit loop of :meth:`send` would queue.
+            pid, outbox = self.pid, self.outbox
+            for recipient in recipients:
+                outbox.append(Message(pid, recipient, payload))
+            return
+        bits = payload_bits(payload) + MESSAGE_OVERHEAD_BITS
+        self.outbox.append(Multicast(self.pid, recipients, payload, bits))
 
-    def broadcast(self, payload: Any, include_self: bool = False) -> None:
-        """Queue the payload to every process (optionally including self)."""
-        self.send_many(
-            (
-                recipient
-                for recipient in range(self.n)
-                if include_self or recipient != self.pid
-            ),
-            payload,
-        )
+    def broadcast(
+        self,
+        payload: Any,
+        recipients: Iterable[int] | None = None,
+        include_self: bool = False,
+    ) -> None:
+        """Queue the payload to every process, or to ``recipients``.
+
+        With the default ``recipients=None`` the fan-out is all n processes
+        except the sender (``include_self=True`` adds it); the fan-out
+        tuple is cached per process, so a per-round broadcast costs one
+        queued :class:`Multicast` record.  Passing ``recipients=`` is the
+        keyword-friendly spelling of :meth:`send_many`.
+        """
+        if recipients is None:
+            cache = self._fanout_cache
+            if cache is None:
+                others = tuple(
+                    recipient
+                    for recipient in range(self.n)
+                    if recipient != self.pid
+                )
+                cache = (others, tuple(range(self.n)))
+                self._fanout_cache = cache
+            recipients = cache[1] if include_self else cache[0]
+        self.send_many(recipients, payload)
 
     def decide(self, value: Any) -> None:
         """Record this process's consensus output (idempotent re-decides

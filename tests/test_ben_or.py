@@ -28,66 +28,66 @@ class TestConstruction:
 class TestCorrectness:
     @pytest.mark.parametrize("bit", [0, 1])
     def test_validity(self, bit):
-        result, _ = run_ben_or([bit] * 20, seed=1)
+        result = run_ben_or([bit] * 20, seed=1).result
         assert result.agreement_value() == bit
 
     def test_strong_majority_decides_fast(self):
         inputs = [1] * 18 + [0] * 2
-        result, _ = run_ben_or(inputs, seed=2)
+        result = run_ben_or(inputs, seed=2).result
         assert result.agreement_value() == 1
         assert result.time_to_agreement() <= 6
 
     @pytest.mark.parametrize("seed", range(4))
     def test_balanced_inputs_agree(self, seed):
-        result, _ = run_ben_or([pid % 2 for pid in range(24)], seed=seed)
+        result = run_ben_or([pid % 2 for pid in range(24)], seed=seed).result
         assert result.agreement_value() in (0, 1)
 
     def test_agreement_under_crashes(self):
-        result, _ = run_ben_or(
+        result = run_ben_or(
             [pid % 2 for pid in range(24)],
             t=4,
             adversary=StaticCrashAdversary({1: [0, 1], 3: [2, 3]}),
             seed=5,
-        )
+        ).result
         assert result.agreement_value() in (0, 1)
 
     def test_agreement_under_silence(self):
-        result, _ = run_ben_or(
+        result = run_ben_or(
             [pid % 2 for pid in range(24)],
             t=4,
             adversary=SilenceAdversary(range(4)),
             seed=6,
-        )
+        ).result
         assert result.agreement_value() in (0, 1)
 
 
 class TestCoinThrottling:
     def test_coinless_processes_never_draw(self):
         coin_pids = frozenset({0, 1})
-        result, _ = run_ben_or(
+        result = run_ben_or(
             [pid % 2 for pid in range(16)],
             coin_pids=coin_pids,
             seed=7,
-        )
+        ).result
         for pid, (calls, bits) in enumerate(result.randomness_per_process):
             if pid not in coin_pids:
                 assert calls == 0
 
     def test_unrestricted_runs_draw_coins_on_balanced_inputs(self):
-        result, _ = run_ben_or([pid % 2 for pid in range(16)], seed=8)
+        result = run_ben_or([pid % 2 for pid in range(16)], seed=8).result
         assert result.metrics.random_calls > 0
 
     def test_unanimous_runs_draw_no_coins(self):
-        result, _ = run_ben_or([1] * 16, seed=9)
+        result = run_ben_or([1] * 16, seed=9).result
         assert result.metrics.random_calls == 0
 
     def test_phase_cutoff_terminates(self):
         """Even a fully deterministic balanced system ends at max_phases."""
-        result, _ = run_ben_or(
+        result = run_ben_or(
             [pid % 2 for pid in range(10)],
             coin_pids=frozenset(),
             max_phases=5,
             seed=10,
-        )
+        ).result
         assert result.all_terminated
         assert result.metrics.rounds <= 5 + 3

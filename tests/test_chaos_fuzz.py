@@ -96,10 +96,10 @@ def test_dolev_strong_survives_chaos(seed):
 
 @pytest.mark.parametrize("seed", range(4))
 def test_phase_king_survives_chaos(seed):
-    result, _ = run_phase_king(
+    result = run_phase_king(
         [pid % 2 for pid in range(13)],
         t=3,
         adversary=ChaosAdversary(seed=400 + seed, corrupt_rate=0.3),
         seed=seed,
-    )
+    ).result
     assert result.agreement_value() in (0, 1)

@@ -19,7 +19,7 @@ class TestCollector:
             DoublingCollector(0, 8, 8)
 
     def test_fault_free_all_satisfied(self):
-        result, processes = run_collectors(32, 0, None, seed=1)
+        processes = run_collectors(32, 0, None, seed=1).processes
         for process in processes:
             assert process.satisfied
             assert len(process.responses) >= process.quorum
@@ -27,12 +27,12 @@ class TestCollector:
     def test_doubling_stops_at_quorum_wave(self):
         """Contacts follow 1+2+4+... and stop at the first wave covering
         the quorum — never the whole system when everyone answers."""
-        result, processes = run_collectors(64, 0, None, quorum=10, seed=2)
+        processes = run_collectors(64, 0, None, quorum=10, seed=2).processes
         for process in processes:
             assert process.contacted == 15  # 1+2+4+8
 
     def test_small_quorum_one_wave(self):
-        result, processes = run_collectors(16, 0, None, quorum=1, seed=3)
+        processes = run_collectors(16, 0, None, quorum=1, seed=3).processes
         assert all(process.contacted == 1 for process in processes)
 
 
@@ -42,9 +42,9 @@ class TestCrashSemantics:
         assert points["crash"].responses_to_victims == 0
 
     def test_crashed_collectors_never_satisfied(self):
-        result, processes = run_collectors(
+        processes = run_collectors(
             32, 2, CrashCollectors([0, 1]), seed=5
-        )
+        ).processes
         assert not processes[0].satisfied
         assert not processes[1].satisfied
         for process in processes[2:]:
@@ -53,9 +53,9 @@ class TestCrashSemantics:
 
 class TestOmissionSemantics:
     def test_starved_collector_sweeps_everyone(self):
-        result, processes = run_collectors(
+        processes = run_collectors(
             64, 1, ResponseStarver([0]), seed=6
-        )
+        ).processes
         assert processes[0].contacted == 63
         assert not processes[0].satisfied
 

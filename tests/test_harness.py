@@ -141,16 +141,18 @@ def test_baseline_runners_return_consensus_runs():
     }
     for name, run in runs.items():
         assert isinstance(run, ConsensusRun), name
-        result, processes = run  # tuple unpacking preserved
+        with pytest.warns(DeprecationWarning):
+            result, processes = run  # tuple unpacking preserved
         assert result is run.result and processes is run.processes, name
-        assert run[0] is run.result and run[1] is run.processes, name
+        with pytest.warns(DeprecationWarning):
+            assert run[0] is run.result and run[1] is run.processes, name
         assert len(run) == 2, name
         assert len(processes) == run.result.n, name
 
 
 def test_trb_indexing_and_decision():
     run = run_trb(16, 0, 9, 2, adversary=SilenceAdversary([0]), seed=7)
-    assert run[0].time_to_agreement() >= 1
+    assert run.result.time_to_agreement() >= 1
     assert run.decision in (9, BOTTOM)
 
 

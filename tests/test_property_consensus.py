@@ -93,7 +93,7 @@ def test_dolev_strong_under_arbitrary_crash_schedules(data, seed):
     seed=st.integers(0, 10**6),
 )
 def test_phase_king_agreement_with_silenced_prefix(inputs, seed):
-    result, _ = run_phase_king(
+    result = run_phase_king(
         inputs, t=3, adversary=SilenceAdversary([seed % 13]), seed=seed
-    )
+    ).result
     assert result.agreement_value() in (0, 1)

@@ -25,14 +25,14 @@ class TestConstruction:
 class TestFaultFree:
     @pytest.mark.parametrize("t", [1, 3, 7])
     def test_integrity_and_agreement(self, t):
-        result, _ = run_trb(24, sender=3, value=9, t=t, seed=1)
+        result = run_trb(24, sender=3, value=9, t=t, seed=1).result
         assert set(result.decisions.values()) == {9}
 
     def test_early_stopping_is_t_independent(self):
         """Without faults the QUIET quorum fires immediately: rounds do not
         grow with the budget t — the [34] early-stopping property."""
         rounds = [
-            run_trb(24, sender=0, value=5, t=t, seed=2)[0].time_to_agreement()
+            run_trb(24, sender=0, value=5, t=t, seed=2).result.time_to_agreement()
             for t in (1, 4, 8)
         ]
         assert len(set(rounds)) == 1
@@ -41,27 +41,27 @@ class TestFaultFree:
 
 class TestFaultySender:
     def test_silenced_sender_delivers_bottom(self):
-        result, _ = run_trb(
+        result = run_trb(
             24, sender=0, value=5, t=4,
             adversary=SilenceAdversary([0]), seed=3,
-        )
+        ).result
         assert set(result.non_faulty_decisions().values()) == {BOTTOM}
 
     def test_sender_crashing_later_still_agrees(self):
         """A sender crashed after its first broadcast: everyone already has
         the value and must agree on it."""
-        result, _ = run_trb(
+        result = run_trb(
             24, sender=0, value=5, t=4,
             adversary=StaticCrashAdversary({1: [0]}), seed=4,
-        )
+        ).result
         assert set(result.non_faulty_decisions().values()) == {5}
 
     @pytest.mark.parametrize("seed", range(4))
     def test_agreement_under_noisy_omissions(self, seed):
-        result, _ = run_trb(
+        result = run_trb(
             20, sender=0, value=3, t=3,
             adversary=RandomOmissionAdversary(0.7, seed=seed), seed=seed,
-        )
+        ).result
         values = set(result.non_faulty_decisions().values())
         assert len(values) == 1
         assert values <= {3, BOTTOM}
@@ -69,10 +69,10 @@ class TestFaultySender:
     def test_partial_first_round_converges(self):
         """The adversary delivers the faulty sender's broadcast to nobody:
         without relays the value never enters the system."""
-        result, _ = run_trb(
+        result = run_trb(
             16, sender=0, value=1, t=2,
             adversary=SilenceAdversary([0]), seed=5,
-        )
+        ).result
         values = set(result.non_faulty_decisions().values())
         assert values == {BOTTOM}
 
@@ -82,11 +82,11 @@ class TestEarlyStoppingShape:
         """min(f + O(1), t + 1): crashing relays delays termination, but
         only the *actual* crash count matters."""
         t = 5
-        fault_free = run_trb(24, sender=0, value=1, t=t, seed=6)[0]
+        fault_free = run_trb(24, sender=0, value=1, t=t, seed=6).result
         sender_dead = run_trb(
             24, sender=0, value=1, t=t,
             adversary=SilenceAdversary([0]), seed=6,
-        )[0]
+        ).result
         assert fault_free.time_to_agreement() < sender_dead.time_to_agreement()
         # Even the worst case is bounded by the t+2 horizon (+ wind-down).
         assert sender_dead.time_to_agreement() <= t + 4

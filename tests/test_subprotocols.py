@@ -69,10 +69,7 @@ class TestSubsetEpochs:
 
         outsider_senders = set()
 
-        def watch(round_no, network):
-            pass
-
-        network = SyncNetwork(processes, seed=3, on_round=watch)
+        network = SyncNetwork(processes, seed=3)
         # Wrap the adversary hook to observe senders.
         original = network.adversary.act
 

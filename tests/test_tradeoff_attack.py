@@ -19,13 +19,13 @@ class TestBalancingAdversary:
         adversary = BalancingCrashAdversary()
         from repro.baselines.ben_or import run_ben_or
 
-        result, _ = run_ben_or(
+        result = run_ben_or(
             [pid % 2 for pid in range(32)],
             t=6,
             adversary=adversary,
             seed=2,
             max_phases=150,
-        )
+        ).result
         assert sum(adversary.corruptions_per_round) <= 6
         assert len(result.faulty) <= 6
 
