@@ -5,7 +5,7 @@ runtime; this package provides the strategy gallery used by tests, examples
 and benchmarks.
 """
 
-from ..runtime import Adversary, AdversaryAction, NetworkView
+from ..runtime import Adversary, AdversaryAction, AdversaryContext, NetworkView
 from .chaos import ChaosAdversary
 from .compose import (
     RecordingAdversary,
@@ -13,6 +13,7 @@ from .compose import (
     ThrottledAdversary,
     UnionAdversary,
 )
+from .scripted import ScriptedAdversary
 from .strategies import (
     EclipseAdversary,
     GroupKnockoutAdversary,
@@ -25,7 +26,9 @@ from .strategies import (
 __all__ = [
     "Adversary",
     "AdversaryAction",
+    "AdversaryContext",
     "NetworkView",
+    "ScriptedAdversary",
     "StaticCrashAdversary",
     "SilenceAdversary",
     "RandomOmissionAdversary",

@@ -22,9 +22,8 @@ because every generated schedule is within the model.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
-from ..runtime import Adversary, AdversaryAction, NetworkView, SyncProcess
+from ..runtime import Adversary, AdversaryAction, AdversaryContext, NetworkView
 from ..runtime.randomness import stable_seed
 
 
@@ -52,8 +51,8 @@ class ChaosAdversary(Adversary):
         #: Per-link omission bias, assigned lazily per (sender, recipient).
         self._link_bias: dict[tuple[int, int], float] = {}
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        self._n = n
+    def setup(self, ctx: AdversaryContext) -> None:
+        self._n = ctx.n
 
     def _bias(self, link: tuple[int, int]) -> float:
         bias = self._link_bias.get(link)

@@ -19,9 +19,18 @@ classes:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..runtime import Adversary, AdversaryAction, NetworkView, SyncProcess
+from ..runtime import (
+    Adversary,
+    AdversaryAction,
+    AdversaryContext,
+    NetworkView,
+    setup_adversary,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from .scripted import ScriptedAdversary
 
 
 class SequentialAdversary(Adversary):
@@ -49,9 +58,9 @@ class SequentialAdversary(Adversary):
         self.stages = list(stages)
         self.boundaries = list(boundaries)
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
+    def setup(self, ctx: AdversaryContext) -> None:
         for stage in self.stages:
-            stage.setup(n, t, processes)
+            setup_adversary(stage, ctx)
 
     def _stage_for(self, round_no: int) -> Adversary:
         for stage, boundary in zip(self.stages, self.boundaries):
@@ -77,9 +86,9 @@ class UnionAdversary(Adversary):
             raise ValueError("UnionAdversary needs at least one strategy")
         self.parts = list(parts)
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
+    def setup(self, ctx: AdversaryContext) -> None:
         for part in self.parts:
-            part.setup(n, t, processes)
+            setup_adversary(part, ctx)
 
     def act(self, view: NetworkView) -> AdversaryAction:
         corrupt: list[int] = []
@@ -122,8 +131,8 @@ class ThrottledAdversary(Adversary):
         self.inner = inner
         self.per_round_cap = per_round_cap
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        self.inner.setup(n, t, processes)
+    def setup(self, ctx: AdversaryContext) -> None:
+        setup_adversary(self.inner, ctx)
 
     def act(self, view: NetworkView) -> AdversaryAction:
         action = self.inner.act(view)
@@ -145,8 +154,8 @@ class RecordingAdversary(Adversary):
         self.inner = inner
         self.actions: list[tuple[int, AdversaryAction]] = []
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        self.inner.setup(n, t, processes)
+    def setup(self, ctx: AdversaryContext) -> None:
+        setup_adversary(self.inner, ctx)
 
     def act(self, view: NetworkView) -> AdversaryAction:
         action = self.inner.act(view)
@@ -158,3 +167,19 @@ class RecordingAdversary(Adversary):
 
     def total_omissions(self) -> int:
         return sum(len(action.omit) for _, action in self.actions)
+
+    def scripted(self, strict: bool = True) -> "ScriptedAdversary":
+        """A :class:`ScriptedAdversary` replaying the recorded schedule.
+
+        Lets any recorded live run be re-executed verbatim — the
+        combinator-level counterpart of the ``repro.replay`` recipe flow.
+        """
+        from .scripted import ScriptedAdversary
+
+        return ScriptedAdversary(
+            [
+                (round_no, action.corrupt, action.omit)
+                for round_no, action in self.actions
+            ],
+            strict=strict,
+        )

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 
 from ..runtime.randomness import stable_seed
 
-from ..runtime import Adversary, AdversaryAction, NetworkView, SyncProcess
+from ..runtime import Adversary, AdversaryAction, AdversaryContext, NetworkView
 
 
 def _cap_to_budget(
@@ -115,9 +115,15 @@ class RandomOmissionAdversary(Adversary):
         self._targets: tuple[int, ...] = ()
         self._started = False
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        count = t if self.corrupt_count is None else min(self.corrupt_count, t)
-        self._targets = tuple(self._rng.sample(range(n), count)) if count else ()
+    def setup(self, ctx: AdversaryContext) -> None:
+        count = (
+            ctx.t
+            if self.corrupt_count is None
+            else min(self.corrupt_count, ctx.t)
+        )
+        self._targets = (
+            tuple(self._rng.sample(range(ctx.n), count)) if count else ()
+        )
 
     def act(self, view: NetworkView) -> AdversaryAction:
         corrupt = frozenset()

@@ -142,7 +142,11 @@ class CampaignSpec:
 
 
 def _run_cell(
-    spec: CampaignSpec, n: int, adversary_name: str, seed: int
+    spec: CampaignSpec,
+    n: int,
+    adversary_name: str,
+    seed: int,
+    record_failures: str | None = None,
 ) -> dict[str, Any]:
     protocol = protocol_spec(spec.protocol)
     params = ProtocolParams.practical()
@@ -162,15 +166,51 @@ def _run_cell(
     # t stays None: every spec's build resolves the same default budget the
     # adversary above was constructed with (the tradeoff intentionally keeps
     # its own halved internal budget while the record carries campaign_t).
-    run = execute(
-        protocol,
-        inputs,
-        adversary=adversary,
-        params=params,
-        seed=seed,
-        observers=observers,
-        options=spec.options,
-    )
+    if record_failures is not None:
+        from ..replay import record as record_run, save_recipe
+
+        recorded = record_run(
+            spec.protocol,
+            inputs,
+            adversary=adversary,
+            params=params,
+            seed=seed,
+            observers=observers,
+            options=spec.options,
+            note=(
+                f"campaign {spec.name}: n={n} "
+                f"adversary={adversary_name} seed={seed}"
+            ),
+        )
+        if recorded.failed:
+            stem = f"{spec.protocol}-n{n}-{adversary_name}-seed{seed}"
+            path = save_recipe(
+                recorded.recipe, Path(record_failures) / f"{stem}.json"
+            )
+            return {
+                "campaign": spec.name,
+                "protocol": spec.protocol,
+                "n": n,
+                "t": t,
+                "adversary": adversary_name,
+                "seed": seed,
+                "options": dict(spec.options),
+                "failed": True,
+                "invariant": recorded.recipe.expected_failure["invariant"],
+                "error": str(recorded.failure),
+                "recipe": str(path),
+            }
+        run = recorded.run
+    else:
+        run = execute(
+            protocol,
+            inputs,
+            adversary=adversary,
+            params=params,
+            seed=seed,
+            observers=observers,
+            options=spec.options,
+        )
 
     metrics = run.metrics
     record: dict[str, Any] = {
@@ -214,11 +254,13 @@ def _run_cell(
 
 
 def _run_cell_task(
-    task: tuple[CampaignSpec, int, str, int]
+    task: tuple[CampaignSpec, int, str, int, str | None]
 ) -> tuple[tuple[int, str, int], dict[str, Any]]:
     """Worker entry point: run one cell, echo its grid coordinates back."""
-    spec, n, adversary, seed = task
-    return (n, adversary, seed), _run_cell(spec, n, adversary, seed)
+    spec, n, adversary, seed, record_failures = task
+    return (n, adversary, seed), _run_cell(
+        spec, n, adversary, seed, record_failures
+    )
 
 
 def _start_method() -> str:
@@ -265,6 +307,7 @@ def run_campaign(
     jobs: int = 1,
     journal: str | Path | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
+    record_failures: str | Path | None = None,
 ) -> list[dict[str, Any]]:
     """Run every grid cell; cells present in ``resume_from`` are reused.
 
@@ -278,6 +321,13 @@ def run_campaign(
     computed record the moment it finishes (previously-resumed records are
     already on disk and are not re-appended).  ``on_record`` is called with
     each newly computed record, in completion order.
+
+    ``record_failures`` names a directory: each cell then runs through the
+    ``repro.replay`` recorder with invariants on, and a violating cell does
+    not abort the sweep — its :class:`~repro.replay.ExecutionRecipe` is
+    saved under the directory and the cell's journal record carries
+    ``failed: true`` plus the recipe path (``summarize_campaign`` skips such
+    records).
     """
     done = {
         record_cell_key(rec): rec
@@ -303,12 +353,18 @@ def run_campaign(
         if on_record is not None:
             on_record(record)
 
+    failures_dir = (
+        str(record_failures) if record_failures is not None else None
+    )
     if jobs <= 1 or len(pending) <= 1:
         for cell in pending:
-            finish(cell, _run_cell(spec, *cell))
+            finish(cell, _run_cell(spec, *cell, failures_dir))
     elif pending:
         context = multiprocessing.get_context(_start_method())
-        tasks = [(spec, n, adversary, seed) for n, adversary, seed in pending]
+        tasks = [
+            (spec, n, adversary, seed, failures_dir)
+            for n, adversary, seed in pending
+        ]
         with context.Pool(processes=min(jobs, len(pending))) as pool:
             for cell, record in pool.imap_unordered(_run_cell_task, tasks):
                 finish(cell, record)
@@ -335,6 +391,10 @@ def summarize_campaign(
     """Aggregate records per (protocol, n, adversary): means over seeds."""
     buckets: dict[tuple, list[dict[str, Any]]] = {}
     for record in records:
+        if record.get("failed"):
+            # Invariant-violating cells (record_failures mode) have no
+            # metrics to aggregate; their recipes are on disk instead.
+            continue
         key = (record["protocol"], record["n"], record["adversary"])
         buckets.setdefault(key, []).append(record)
     summary = []

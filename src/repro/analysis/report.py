@@ -433,6 +433,10 @@ def render_markdown(records: list[ExperimentRecord]) -> str:
         "substitution and why shapes, not absolute constants, are the "
         "comparison target).",
         "",
+        "Any VIOLATED verdict must be reported with a shrunk "
+        "`ExecutionRecipe` counterexample attached (see `repro.replay`; "
+        "replay it with `python -m repro.cli replay <recipe.json>`).",
+        "",
     ]
     for record in records:
         lines += [

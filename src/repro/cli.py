@@ -209,8 +209,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except FileNotFoundError:
             pass
     records = run_campaign(
-        spec, resume_from=resume, jobs=args.jobs, journal=journal
+        spec,
+        resume_from=resume,
+        jobs=args.jobs,
+        journal=journal,
+        record_failures=args.record_failures,
     )
+    failed = [rec for rec in records if rec.get("failed")]
+    for rec in failed:
+        print(
+            f"  FAILED {rec['protocol']} n={rec['n']} {rec['adversary']} "
+            f"seed={rec['seed']}: {rec['invariant']} -> {rec['recipe']}"
+        )
     save_campaign(records, output)
     print(f"wrote {output} ({len(records)} records)")
     for row in summarize_campaign(records):
@@ -221,6 +231,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"fallback={row['fallback_rate']:.2f}"
         )
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .replay import load_recipe, replay, save_recipe, shrink_recipe
+
+    try:
+        recipe = load_recipe(args.recipe)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load recipe {args.recipe}: {exc}")
+        return 2
+    kind = "failing" if recipe.failing else "passing"
+    print(
+        f"recipe        : {args.recipe} ({kind})"
+        + (f" — {recipe.note}" if recipe.note else "")
+    )
+    print(
+        f"protocol      : {recipe.protocol} n={recipe.n} t={recipe.t} "
+        f"seed={recipe.seed} multicast={recipe.multicast}"
+    )
+    print(
+        f"schedule      : {len(recipe.actions)} rounds, "
+        f"{recipe.total_corruptions()} corruptions, "
+        f"{recipe.total_omissions()} omissions"
+    )
+    multicast = (
+        None if args.multicast is None else args.multicast == "on"
+    )
+    strict = False if args.lenient else None
+    try:
+        report = replay(recipe, strict=strict, multicast=multicast)
+    except ValueError as exc:
+        # e.g. the recipe names a protocol this process has not
+        # registered (test-only plants live in their test modules).
+        print(f"error: {exc}")
+        return 2
+    print(f"verdict       : {report.summary()}")
+    if args.shrink and recipe.failing:
+        result = shrink_recipe(recipe)
+        out = Path(args.recipe).with_suffix(".shrunk.json")
+        save_recipe(result.recipe, out)
+        print(
+            f"shrunk        : {result.recipe.total_omissions()} omissions / "
+            f"{result.recipe.total_corruptions()} corruptions "
+            f"({result.replays} replays) -> {out}"
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -339,7 +397,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--capture", default="",
         help='comma list of per-cell observers to attach: "trace", "profile"',
     )
+    campaign_parser.add_argument(
+        "--record-failures", default=None, metavar="DIR",
+        help="run cells through the replay recorder with invariants on; "
+        "violating cells save an ExecutionRecipe here instead of aborting "
+        "the sweep",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-execute a recorded ExecutionRecipe and verify the outcome",
+    )
+    replay_parser.add_argument("recipe", help="path to a recipe JSON")
+    replay_parser.add_argument(
+        "--multicast", choices=("on", "off"), default=None,
+        help="override the recorded engine send path",
+    )
+    replay_parser.add_argument(
+        "--lenient", action="store_true",
+        help="cap/censor illegal scripted actions instead of erroring "
+        "(the default for failing recipes)",
+    )
+    replay_parser.add_argument(
+        "--shrink", action="store_true",
+        help="minimize a failing recipe's schedule and write it back "
+        "next to the input as <name>.shrunk.json",
+    )
+    replay_parser.set_defaults(func=_cmd_replay)
 
     report_parser = sub.add_parser(
         "report", help="run the full battery and write EXPERIMENTS.md"

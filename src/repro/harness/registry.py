@@ -157,6 +157,7 @@ def execute(
     max_rounds: int | None = None,
     observers: Sequence[RoundObserver] = (),
     options: Mapping[str, Any] | None = None,
+    multicast: bool = True,
     **extra_options: Any,
 ):
     """Run one protocol end-to-end through the unified harness.
@@ -168,7 +169,9 @@ def execute(
     are passed to the spec's factory (e.g. ``x=4`` for the tradeoff,
     ``sender=0`` for TRB).  ``observers`` are attached to the underlying
     :class:`SyncNetwork`, so traces and profiles can be captured on any
-    protocol without touching its wrapper.
+    protocol without touching its wrapper.  ``multicast=False`` selects the
+    engine's legacy per-copy send path (metrics are identical either way;
+    replay verification exercises both).
 
     Returns a :class:`repro.core.consensus.ConsensusRun`.
     """
@@ -206,6 +209,7 @@ def execute(
             max_rounds if max_rounds is not None else spec.default_max_rounds
         ),
         observers=observers,
+        multicast=multicast,
     )
     result = network.run()
     return ConsensusRun(

@@ -31,9 +31,11 @@ from typing import Callable, Sequence
 from ..runtime import (
     Adversary,
     AdversaryAction,
+    AdversaryContext,
     NetworkView,
     SyncNetwork,
     SyncProcess,
+    setup_adversary,
 )
 from ..runtime.randomness import stable_seed
 
@@ -67,8 +69,8 @@ class ScriptedAdversary(Adversary):
             fallback if fallback is not None else KeepSilencingFaulty()
         )
 
-    def setup(self, n: int, t: int, processes) -> None:
-        self.fallback.setup(n, t, processes)
+    def setup(self, ctx: AdversaryContext) -> None:
+        setup_adversary(self.fallback, ctx)
 
     def act(self, view: NetworkView) -> AdversaryAction:
         if view.round < len(self.script):

@@ -1,0 +1,186 @@
+"""ExecutionRecipe: the serializable identity of one engine execution.
+
+An execution of the synchronous engine is a deterministic function of three
+things: the protocol (name + parameters + inputs), the seeds that derive
+every process's random source, and the adversary's action sequence.  A
+recipe captures exactly those — nothing about the *outcome* is needed to
+re-run it, but the recipe also carries an expected fingerprint (the full
+:func:`repro.runtime.result_to_dict` payload of the recorded run, or the
+invariant violation the run tripped) so a replay can verify itself.
+
+Recipes are plain JSON artifacts, schema-tagged like every payload written
+by :mod:`repro.runtime.serialization` (which re-exports
+:func:`recipe_payload` / :func:`recipe_from_payload` as
+``recipe_to_dict`` / ``recipe_from_dict``).  They are what the chaos-fuzz
+suite saves when a run violates an invariant, what the shrinker minimizes,
+and what ``python -m repro.cli replay`` consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..params import ProtocolParams
+from ..runtime.serialization import SCHEMA_VERSION, check_schema
+
+
+@dataclass(frozen=True)
+class RecordedAction:
+    """One round's validated adversary action, as data.
+
+    ``corrupt`` holds only the pids *newly* corrupted this round (the
+    cumulative faulty set is implied by the prefix); ``omit`` holds the
+    flat message indices omitted — the same indexing both engine send
+    paths use, which is what makes recorded schedules path-independent.
+    """
+
+    round: int
+    corrupt: tuple[int, ...] = ()
+    omit: tuple[int, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.corrupt and not self.omit
+
+
+@dataclass(frozen=True)
+class ExecutionRecipe:
+    """Everything needed to re-run one harness execution exactly.
+
+    ``expected`` is the recorded run's full result fingerprint
+    (:func:`repro.runtime.result_to_dict`) when the run completed;
+    ``expected_failure`` describes the invariant violation when it did
+    not.  Exactly one of the two is normally set; both may be ``None``
+    for a hand-written recipe.
+    """
+
+    protocol: str
+    n: int
+    seed: int
+    inputs: tuple[int, ...] | None = None
+    t: int | None = None
+    graph_seed: int = 0
+    params: ProtocolParams = field(default_factory=ProtocolParams.practical)
+    options: Mapping[str, Any] = field(default_factory=dict)
+    multicast: bool = True
+    max_rounds: int | None = None
+    actions: tuple[RecordedAction, ...] = ()
+    expected: Mapping[str, Any] | None = None
+    expected_failure: Mapping[str, Any] | None = None
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    def with_actions(
+        self, actions: Sequence[RecordedAction]
+    ) -> "ExecutionRecipe":
+        """Copy of this recipe with a different adversary schedule."""
+        return dataclasses.replace(self, actions=tuple(actions))
+
+    def total_corruptions(self) -> int:
+        return sum(len(action.corrupt) for action in self.actions)
+
+    def total_omissions(self) -> int:
+        return sum(len(action.omit) for action in self.actions)
+
+    @property
+    def failing(self) -> bool:
+        """Whether this recipe records an invariant-violating run."""
+        return self.expected_failure is not None
+
+
+# ----------------------------------------------------------------------
+# JSON payloads
+# ----------------------------------------------------------------------
+def recipe_payload(recipe: ExecutionRecipe) -> dict[str, Any]:
+    """Serialize a recipe to JSON-safe primitives (schema-tagged)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "execution-recipe",
+        "protocol": recipe.protocol,
+        "n": recipe.n,
+        "inputs": list(recipe.inputs) if recipe.inputs is not None else None,
+        "t": recipe.t,
+        "seed": recipe.seed,
+        "graph_seed": recipe.graph_seed,
+        "params": dataclasses.asdict(recipe.params),
+        "options": dict(recipe.options),
+        "multicast": recipe.multicast,
+        "max_rounds": recipe.max_rounds,
+        "actions": [
+            {
+                "round": action.round,
+                "corrupt": sorted(action.corrupt),
+                "omit": sorted(action.omit),
+            }
+            for action in recipe.actions
+        ],
+        "expected": (
+            dict(recipe.expected) if recipe.expected is not None else None
+        ),
+        "expected_failure": (
+            dict(recipe.expected_failure)
+            if recipe.expected_failure is not None
+            else None
+        ),
+        "note": recipe.note,
+    }
+
+
+def recipe_from_payload(data: Mapping[str, Any]) -> ExecutionRecipe:
+    """Rebuild a recipe written by :func:`recipe_payload`.
+
+    Rejects unknown schema versions and non-recipe payloads with
+    ``ValueError`` before touching any field.
+    """
+    check_schema(dict(data), "recipe")
+    kind = data.get("kind")
+    if kind != "execution-recipe":
+        raise ValueError(
+            f"not an execution recipe: payload kind is {kind!r}"
+        )
+    inputs = data.get("inputs")
+    return ExecutionRecipe(
+        protocol=data["protocol"],
+        n=data["n"],
+        inputs=tuple(inputs) if inputs is not None else None,
+        t=data.get("t"),
+        seed=data["seed"],
+        graph_seed=data.get("graph_seed", 0),
+        params=ProtocolParams(**data["params"]),
+        options=dict(data.get("options") or {}),
+        multicast=data.get("multicast", True),
+        max_rounds=data.get("max_rounds"),
+        actions=tuple(
+            RecordedAction(
+                round=entry["round"],
+                corrupt=tuple(entry.get("corrupt", ())),
+                omit=tuple(entry.get("omit", ())),
+            )
+            for entry in data.get("actions", ())
+        ),
+        expected=data.get("expected"),
+        expected_failure=data.get("expected_failure"),
+        note=data.get("note", ""),
+    )
+
+
+def save_recipe(recipe: ExecutionRecipe, path: str | Path) -> Path:
+    """Write a recipe as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(recipe_payload(recipe), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_recipe(path: str | Path) -> ExecutionRecipe:
+    """Read a recipe written by :func:`save_recipe`."""
+    return recipe_from_payload(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

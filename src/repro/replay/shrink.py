@@ -1,0 +1,181 @@
+"""Delta-debugging shrinker for failing execution recipes.
+
+A fuzzer-found invariant violation typically arrives wrapped in hundreds
+of irrelevant adversary decisions.  :func:`shrink_recipe` minimizes the
+schedule with three ddmin passes, re-validating every candidate by actual
+replay (``strict=False``, so deleting a corruption merely weakens the
+remaining omissions instead of making them illegal):
+
+1. drop whole round-actions;
+2. drop individual corruption entries (omissions held fixed);
+3. drop individual omission indices (corruptions held fixed).
+
+A candidate *counts* only if its replay trips the **same invariant** as
+the original — shrinking must not wander onto a different bug.  The
+result is a locally minimal recipe: removing any single remaining chunk
+stops the failure from reproducing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .recipe import ExecutionRecipe, RecordedAction
+from .runner import _failure_payload, replay
+
+
+def _ddmin(
+    items: list,
+    still_fails: Callable[[list], bool],
+) -> list:
+    """Classic ddmin over ``items``: greedily remove complement chunks.
+
+    ``still_fails`` must hold for the full list; the returned sublist is
+    1-minimal w.r.t. the final chunk granularity.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = math.ceil(len(items) / granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if still_fails(candidate):
+                items = candidate
+                reduced = True
+                # Do not advance: the next chunk shifted into `start`.
+            else:
+                start += chunk
+        if reduced:
+            granularity = max(2, granularity - 1)
+        elif chunk <= 1:
+            break
+        else:
+            granularity = min(len(items), granularity * 2)
+    if len(items) == 1 and still_fails([]):
+        items = []
+    return items
+
+
+def _rebuild_actions(
+    corrupt_entries: Sequence[tuple[int, int]],
+    omit_entries: Sequence[tuple[int, int]],
+) -> tuple[RecordedAction, ...]:
+    """Reassemble per-round actions from flat (round, value) entries."""
+    by_round: dict[int, tuple[list[int], list[int]]] = {}
+    for round_no, pid in corrupt_entries:
+        by_round.setdefault(round_no, ([], []))[0].append(pid)
+    for round_no, index in omit_entries:
+        by_round.setdefault(round_no, ([], []))[1].append(index)
+    return tuple(
+        RecordedAction(
+            round=round_no,
+            corrupt=tuple(sorted(corrupt)),
+            omit=tuple(sorted(omit)),
+        )
+        for round_no, (corrupt, omit) in sorted(by_round.items())
+    )
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized recipe plus how much work the search did."""
+
+    recipe: ExecutionRecipe
+    original: ExecutionRecipe
+    replays: int
+
+    @property
+    def omission_ratio(self) -> float:
+        """Shrunk omission entries as a fraction of the original's."""
+        before = self.original.total_omissions()
+        if before == 0:
+            return 0.0
+        return self.recipe.total_omissions() / before
+
+
+def shrink_recipe(
+    recipe: ExecutionRecipe,
+    fails: Callable[[ExecutionRecipe], bool] | None = None,
+    max_replays: int = 600,
+) -> ShrinkResult:
+    """Minimize a failing recipe's adversary schedule by replaying.
+
+    ``fails`` overrides the candidate predicate (default: lenient replay
+    trips the same invariant as ``recipe.expected_failure``).  The search
+    stops reducing once ``max_replays`` candidate replays were spent.
+    Raises ``ValueError`` if the recipe does not fail to begin with.
+    """
+    replays = 0
+
+    if fails is None:
+        reference = (
+            recipe.expected_failure.get("invariant")
+            if recipe.expected_failure is not None
+            else None
+        )
+
+        def fails(candidate: ExecutionRecipe) -> bool:
+            report = replay(candidate, strict=False, invariants=True)
+            if report.failure is None:
+                return False
+            if reference is None:
+                return True
+            got = getattr(
+                report.failure, "invariant", type(report.failure).__name__
+            )
+            return got == reference
+
+    def try_candidate(actions: Sequence[RecordedAction]) -> bool:
+        nonlocal replays
+        if replays >= max_replays:
+            return False
+        replays += 1
+        return fails(recipe.with_actions(actions))
+
+    if not try_candidate(recipe.actions):
+        raise ValueError(
+            "recipe does not reproduce its failure; nothing to shrink"
+        )
+
+    # Pass 1: whole round-actions.
+    actions = _ddmin(list(recipe.actions), try_candidate)
+
+    # Pass 2: individual corruption entries, omissions held fixed.
+    corrupt_entries = [
+        (action.round, pid) for action in actions for pid in action.corrupt
+    ]
+    omit_entries = [
+        (action.round, index) for action in actions for index in action.omit
+    ]
+    corrupt_entries = _ddmin(
+        corrupt_entries,
+        lambda kept: try_candidate(_rebuild_actions(kept, omit_entries)),
+    )
+
+    # Pass 3: individual omission indices, corruptions held fixed.
+    omit_entries = _ddmin(
+        omit_entries,
+        lambda kept: try_candidate(_rebuild_actions(corrupt_entries, kept)),
+    )
+
+    shrunk = recipe.with_actions(
+        _rebuild_actions(corrupt_entries, omit_entries)
+    )
+
+    # Refresh the failure description from the minimized schedule and
+    # mark the artifact as shrunk.
+    final = replay(shrunk, strict=False, invariants=True)
+    replays += 1
+    if final.failure is not None:
+        import dataclasses
+
+        shrunk = dataclasses.replace(
+            shrunk,
+            expected_failure=_failure_payload(final.failure),
+            note=(recipe.note + " " if recipe.note else "") + "(shrunk)",
+        )
+    return ShrinkResult(recipe=shrunk, original=recipe, replays=replays)

@@ -34,11 +34,13 @@ from .observers import (
 from .network import (
     Adversary,
     AdversaryAction,
+    AdversaryContext,
     AdversaryProtocolError,
     ExecutionResult,
     LockstepError,
     NetworkView,
     SyncNetwork,
+    setup_adversary,
 )
 from .process import (
     ProcessEnv,
@@ -48,9 +50,13 @@ from .process import (
     receive_round,
 )
 from .serialization import (
+    SCHEMA_VERSION,
+    check_schema,
     load_result,
     metrics_from_dict,
     metrics_to_dict,
+    recipe_from_dict,
+    recipe_to_dict,
     result_from_dict,
     result_to_dict,
     save_result,
@@ -75,7 +81,9 @@ __all__ = [
     "Metrics",
     "Adversary",
     "AdversaryAction",
+    "AdversaryContext",
     "AdversaryProtocolError",
+    "setup_adversary",
     "ExecutionResult",
     "LockstepError",
     "NetworkView",
@@ -92,9 +100,13 @@ __all__ = [
     "RoundTrace",
     "TraceRecorder",
     "default_state_probe",
+    "SCHEMA_VERSION",
+    "check_schema",
     "load_result",
     "metrics_from_dict",
     "metrics_to_dict",
+    "recipe_from_dict",
+    "recipe_to_dict",
     "result_from_dict",
     "result_to_dict",
     "save_result",

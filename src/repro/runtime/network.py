@@ -35,6 +35,8 @@ without wrapping the adversary or monkeypatching hooks.
 
 from __future__ import annotations
 
+import inspect
+import random
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -43,7 +45,7 @@ from .messages import Message, MessageBatch, Multicast
 from .metrics import Metrics
 from .observers import CallbackObserver, MetricsObserver, RoundObserver
 from .process import ProcessEnv, Program, SyncProcess
-from .randomness import CountingRandom, derive_seeds
+from .randomness import CountingRandom, derive_seeds, stable_seed
 
 
 class AdversaryProtocolError(RuntimeError):
@@ -174,15 +176,71 @@ class NetworkView:
         return frozenset(indices)
 
 
+@dataclass(frozen=True)
+class AdversaryContext:
+    """Everything an adversary may inspect before round 0.
+
+    Handed to :meth:`Adversary.setup` by the engine (and by combinators to
+    their inner strategies).  ``rng`` is a dedicated, deterministically
+    seeded stream — strategies that randomize their setup (target sampling,
+    tie breaking) should draw from it instead of global randomness so
+    recorded executions replay exactly.
+    """
+
+    n: int
+    t: int
+    processes: tuple[SyncProcess, ...]
+    rng: random.Random
+
+
+def setup_adversary(adversary: "Adversary", ctx: AdversaryContext) -> None:
+    """Invoke ``adversary.setup`` with the context, adapting legacy hooks.
+
+    The historical lifecycle hook was ``setup(n, t, processes)``; the
+    current one is ``setup(ctx)``.  Strategies still implementing the old
+    three-argument signature keep working — this adapter unpacks the
+    context for them and emits a :class:`DeprecationWarning`.  Combinators
+    must use this function (not ``inner.setup(...)`` directly) so wrapped
+    legacy strategies are adapted too.
+    """
+    setup = adversary.setup
+    try:
+        parameters = inspect.signature(setup).parameters.values()
+    except (TypeError, ValueError):  # builtins / C callables: assume current
+        parameters = ()
+    positional = [
+        parameter
+        for parameter in parameters
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    if len(positional) >= 3:
+        warnings.warn(
+            f"{type(adversary).__name__}.setup(n, t, processes) is "
+            "deprecated; accept a single AdversaryContext instead "
+            "(setup(self, ctx) with ctx.n / ctx.t / ctx.processes / ctx.rng)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        setup(ctx.n, ctx.t, ctx.processes)
+    else:
+        setup(ctx)
+
+
 class Adversary:
     """Base adversary: corrupts nobody and omits nothing.
 
     Concrete strategies override :meth:`act`; they may also override
-    :meth:`setup` to inspect the system before round 0.
+    :meth:`setup` to inspect the system before round 0.  The legacy
+    ``setup(n, t, processes)`` signature is still honoured (with a
+    :class:`DeprecationWarning`) via :func:`setup_adversary`.
     """
 
-    def setup(self, n: int, t: int, processes: Sequence[SyncProcess]) -> None:
-        """Called once before the first round."""
+    def setup(self, ctx: AdversaryContext) -> None:
+        """Called once before the first round with the run's context."""
 
     def act(self, view: NetworkView) -> AdversaryAction:
         """Return this round's corruptions and omissions."""
@@ -293,6 +351,7 @@ class SyncNetwork:
         self.processes = list(processes)
         self.n = n
         self.t = t
+        self.seed = seed
         self.adversary = adversary if adversary is not None else Adversary()
         self.max_rounds = max_rounds
         self.metrics = Metrics()
@@ -540,7 +599,15 @@ class SyncNetwork:
     def run(self) -> ExecutionResult:
         """Run rounds until every process terminates (or max_rounds)."""
         observers = self._observers
-        self.adversary.setup(self.n, self.t, self.processes)
+        setup_adversary(
+            self.adversary,
+            AdversaryContext(
+                n=self.n,
+                t=self.t,
+                processes=tuple(self.processes),
+                rng=random.Random(stable_seed(self.seed, "adversary-setup")),
+            ),
+        )
         for observer in observers:
             observer.on_run_start(self)
         while self.live_count > 0:

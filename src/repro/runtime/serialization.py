@@ -1,4 +1,4 @@
-"""JSON serialization of execution results and traces.
+"""JSON serialization of execution results, traces, and recipes.
 
 Long experiment campaigns want to run once and analyze offline;
 this module round-trips the substrate's result objects through plain JSON:
@@ -8,7 +8,15 @@ this module round-trips the substrate's result objects through plain JSON:
   per-process randomness, decision rounds);
 * :func:`trace_to_dict` — a :class:`TraceRecorder`'s round records
   (one-way: traces are diagnostic output, not protocol state);
+* :func:`recipe_to_dict` / :func:`recipe_from_dict` — the
+  ``repro.replay`` :class:`~repro.replay.ExecutionRecipe` artifact;
 * :func:`save_result` / :func:`load_result` — file helpers.
+
+Every payload carries a ``"schema"`` field (:data:`SCHEMA_VERSION`).  The
+readers accept the current schema plus the explicitly listed legacy
+versions, and reject anything else with a :class:`ValueError` naming the
+version — never a ``KeyError`` from a silently missing field.  Bump
+:data:`SCHEMA_VERSION` whenever a payload's shape changes incompatibly.
 
 Decision values are JSON-encoded as-is, so protocols whose decisions are
 ints/strings/lists round-trip exactly; tuples come back as lists (JSON has
@@ -25,12 +33,34 @@ from .metrics import Metrics
 from .network import ExecutionResult
 from .trace import TraceRecorder
 
+#: Current schema version of every payload this module writes.
+SCHEMA_VERSION = 2
+
+#: The pre-``schema`` version tag (files written as ``format_version: 1``).
 FORMAT_VERSION = 1
+
+
+def check_schema(data: dict[str, Any], payload: str) -> int:
+    """Return the payload's schema version, rejecting unknown ones.
+
+    Accepts the current :data:`SCHEMA_VERSION` and the legacy
+    ``format_version: 1`` tag; anything else (including an untagged dict)
+    raises ``ValueError`` with the offending version spelled out.
+    """
+    version = data.get("schema", data.get("format_version"))
+    if version == SCHEMA_VERSION or version == FORMAT_VERSION:
+        return version
+    raise ValueError(
+        f"unsupported {payload} schema version {version!r} "
+        f"(this build reads schema {SCHEMA_VERSION} and legacy "
+        f"format_version {FORMAT_VERSION})"
+    )
 
 
 def metrics_to_dict(metrics: Metrics) -> dict[str, Any]:
     """Serialize a :class:`Metrics` (including the per-round series)."""
     return {
+        "schema": SCHEMA_VERSION,
         "rounds": metrics.rounds,
         "messages_sent": metrics.messages_sent,
         "messages_delivered": metrics.messages_delivered,
@@ -47,6 +77,8 @@ def metrics_to_dict(metrics: Metrics) -> dict[str, Any]:
 
 
 def metrics_from_dict(data: dict[str, Any]) -> Metrics:
+    if "schema" in data:
+        check_schema(data, "metrics")
     metrics = Metrics(
         rounds=data["rounds"],
         messages_sent=data["messages_sent"],
@@ -68,7 +100,7 @@ def metrics_from_dict(data: dict[str, Any]) -> Metrics:
 def result_to_dict(result: ExecutionResult) -> dict[str, Any]:
     """Serialize an :class:`ExecutionResult` to JSON-safe primitives."""
     return {
-        "format_version": FORMAT_VERSION,
+        "schema": SCHEMA_VERSION,
         "n": result.n,
         "decisions": {str(pid): value for pid, value in result.decisions.items()},
         "metrics": metrics_to_dict(result.metrics),
@@ -87,12 +119,7 @@ def result_to_dict(result: ExecutionResult) -> dict[str, Any]:
 
 def result_from_dict(data: dict[str, Any]) -> ExecutionResult:
     """Rebuild an :class:`ExecutionResult` from :func:`result_to_dict`."""
-    version = data.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported result format version {version!r} "
-            f"(this build reads {FORMAT_VERSION})"
-        )
+    check_schema(data, "result")
     return ExecutionResult(
         n=data["n"],
         decisions={int(pid): value for pid, value in data["decisions"].items()},
@@ -114,7 +141,7 @@ def trace_to_dict(recorder: TraceRecorder) -> dict[str, Any]:
     """Serialize a trace recorder's rounds (state samples must be
     JSON-safe, which the default probe's snapshots are)."""
     return {
-        "format_version": FORMAT_VERSION,
+        "schema": SCHEMA_VERSION,
         "rounds": [
             {
                 "round": trace.round,
@@ -131,6 +158,28 @@ def trace_to_dict(recorder: TraceRecorder) -> dict[str, Any]:
             for trace in recorder.rounds
         ],
     }
+
+
+def recipe_to_dict(recipe: Any) -> dict[str, Any]:
+    """Serialize a ``repro.replay`` :class:`ExecutionRecipe` (schema-tagged).
+
+    Thin indirection so every versioned artifact is writable from one
+    module; the field layout lives with the recipe dataclass itself in
+    :mod:`repro.replay.recipe`.
+    """
+    from ..replay.recipe import recipe_payload
+
+    return recipe_payload(recipe)
+
+
+def recipe_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild an :class:`ExecutionRecipe` written by :func:`recipe_to_dict`.
+
+    Rejects unknown schema versions with a clear ``ValueError``.
+    """
+    from ..replay.recipe import recipe_from_payload
+
+    return recipe_from_payload(data)
 
 
 def save_result(result: ExecutionResult, path: str | Path) -> None:

@@ -155,3 +155,91 @@ class TestViewHelpers:
         assert view.message_indices_from({1}) == frozenset({1})
         assert view.message_indices_to({0}) == frozenset({2})
         assert view.message_indices_touching({0}) == frozenset({0, 2})
+
+class TestCapToBudgetBoundaries:
+    """Regression: exact-budget edges of the strategies' budget capping."""
+
+    @staticmethod
+    def make_view(faulty=(), budget_left=0):
+        return NetworkView(
+            0, (), (), frozenset(faulty), budget_left, {}, frozenset()
+        )
+
+    def test_zero_remaining_budget_chooses_nobody(self):
+        from repro.adversary.strategies import _cap_to_budget
+
+        view = self.make_view(faulty=[0, 1], budget_left=0)
+        assert _cap_to_budget([2, 3, 4], view) == frozenset()
+
+    def test_already_holding_t_corruptions(self):
+        """With the budget fully spent, re-proposed and fresh candidates
+        alike must be dropped (the engine would reject either)."""
+        from repro.adversary.strategies import _cap_to_budget
+
+        view = self.make_view(faulty=[0, 1, 2], budget_left=0)
+        assert _cap_to_budget([0, 1, 2, 3], view) == frozenset()
+
+    def test_exactly_budget_many_candidates_all_chosen(self):
+        from repro.adversary.strategies import _cap_to_budget
+
+        view = self.make_view(budget_left=3)
+        assert _cap_to_budget([4, 5, 6], view) == frozenset({4, 5, 6})
+
+    def test_faulty_and_duplicate_candidates_free(self):
+        """Already-faulty pids and duplicates must not consume budget."""
+        from repro.adversary.strategies import _cap_to_budget
+
+        view = self.make_view(faulty=[0], budget_left=2)
+        assert _cap_to_budget([0, 1, 1, 0, 2, 3], view) == frozenset({1, 2})
+
+    def test_silence_adversary_at_exact_budget(self):
+        """End-to-end: t victims against budget exactly t is legal and
+        total — one more victim must be silently dropped, not an error."""
+        result, _ = run_babble(6, SilenceAdversary([0, 1, 2]), t=3)
+        assert result.faulty == frozenset({0, 1, 2})
+        result, _ = run_babble(6, SilenceAdversary([0, 1, 2, 3]), t=3)
+        assert len(result.faulty) == 3
+
+
+class TestSetupMigration:
+    """The AdversaryContext lifecycle hook and its legacy adapter."""
+
+    def test_in_repo_strategies_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_babble(6, RandomOmissionAdversary(0.5, seed=1), t=2)
+            run_babble(6, VoteBalancingAdversary(seed=1), t=2)
+
+    def test_legacy_three_argument_setup_adapted_with_warning(self):
+        import pytest
+
+        from repro.runtime import Adversary
+
+        class Legacy(Adversary):
+            def __init__(self):
+                self.saw = None
+
+            def setup(self, n, t, processes):
+                self.saw = (n, t, len(processes))
+
+        legacy = Legacy()
+        with pytest.warns(DeprecationWarning, match="AdversaryContext"):
+            result, _ = run_babble(6, legacy, t=2)
+        assert legacy.saw == (6, 2, 6)
+        assert result.all_terminated
+
+    def test_context_carries_seeded_rng(self):
+        from repro.runtime import Adversary
+
+        draws = []
+
+        class Sampler(Adversary):
+            def setup(self, ctx):
+                assert ctx.n == 6 and ctx.t == 2
+                draws.append(ctx.rng.random())
+
+        run_babble(6, Sampler(), t=2, seed=9)
+        run_babble(6, Sampler(), t=2, seed=9)
+        assert draws[0] == draws[1]

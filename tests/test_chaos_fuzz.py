@@ -3,16 +3,22 @@
 Every ChaosAdversary schedule is within the model, so the consensus
 properties must hold for every seed — the protocol-level analogue of
 property-based testing.
+
+Each run goes through ``repro.replay.run_checked``: invariants (agreement,
+validity, termination, budget, metering conservation) are checked *during*
+the run, and a violation is automatically shrunk to a minimal adversary
+schedule and saved as a replayable recipe under ``counterexamples/``
+(override with ``$REPRO_COUNTEREXAMPLE_DIR``; CI uploads the directory as
+a workflow artifact).  Re-run a saved failure with::
+
+    python -m repro.cli replay counterexamples/<name>.json
 """
 
 import pytest
 
 from repro.adversary import ChaosAdversary
-from repro.baselines import run_phase_king
-from repro.baselines.dolev_strong import DolevStrongProcess
-from repro.core import run_consensus, run_early_stopping_consensus, run_tradeoff_consensus
 from repro.params import ProtocolParams
-from repro.runtime import SyncNetwork
+from repro.replay import run_checked
 
 PARAMS = ProtocolParams.practical()
 
@@ -26,13 +32,14 @@ class TestChaosConstruction:
 @pytest.mark.parametrize("seed", range(6))
 def test_algorithm1_survives_chaos(seed):
     n = 64
-    t = PARAMS.max_faults(n)
-    run = run_consensus(
+    run = run_checked(
+        "algorithm1",
         [pid % 2 for pid in range(n)],
-        t=t,
+        t=PARAMS.max_faults(n),
         adversary=ChaosAdversary(seed=seed),
         params=PARAMS,
         seed=seed,
+        label="chaos-algorithm1",
     )
     assert run.decision in (0, 1)
 
@@ -40,13 +47,14 @@ def test_algorithm1_survives_chaos(seed):
 @pytest.mark.parametrize("seed", range(4))
 def test_algorithm1_validity_under_chaos(seed):
     n = 64
-    t = PARAMS.max_faults(n)
-    run = run_consensus(
+    run = run_checked(
+        "algorithm1",
         [1] * n,
-        t=t,
+        t=PARAMS.max_faults(n),
         adversary=ChaosAdversary(seed=seed, corrupt_rate=0.2),
         params=PARAMS,
         seed=seed,
+        label="chaos-algorithm1-validity",
     )
     assert run.decision == 1
 
@@ -54,13 +62,14 @@ def test_algorithm1_validity_under_chaos(seed):
 @pytest.mark.parametrize("seed", range(4))
 def test_early_stopping_survives_chaos(seed):
     n = 64
-    t = PARAMS.max_faults(n)
-    run = run_early_stopping_consensus(
+    run = run_checked(
+        "early-stopping",
         [pid % 2 for pid in range(n)],
-        t=t,
+        t=PARAMS.max_faults(n),
         adversary=ChaosAdversary(seed=100 + seed),
         params=PARAMS,
         seed=seed,
+        label="chaos-early-stopping",
     )
     assert run.decision in (0, 1)
 
@@ -68,38 +77,39 @@ def test_early_stopping_survives_chaos(seed):
 @pytest.mark.parametrize("seed", range(3))
 def test_tradeoff_survives_chaos(seed):
     n = 64
-    run = run_tradeoff_consensus(
+    run = run_checked(
+        "tradeoff",
         [pid % 2 for pid in range(n)],
-        4,
         adversary=ChaosAdversary(seed=200 + seed),
         params=PARAMS,
         seed=seed,
+        x=4,
+        label="chaos-tradeoff",
     )
     assert run.decision in (0, 1)
 
 
 @pytest.mark.parametrize("seed", range(4))
 def test_dolev_strong_survives_chaos(seed):
-    n, t = 13, 3
-    processes = [
-        DolevStrongProcess(pid, n, pid % 2, t) for pid in range(n)
-    ]
-    network = SyncNetwork(
-        processes,
+    run = run_checked(
+        "dolev-strong",
+        [pid % 2 for pid in range(13)],
+        t=3,
         adversary=ChaosAdversary(seed=300 + seed, corrupt_rate=0.3),
-        t=t,
         seed=seed,
+        label="chaos-dolev-strong",
     )
-    result = network.run()
-    assert result.agreement_value() in (0, 1)
+    assert run.result.agreement_value() in (0, 1)
 
 
 @pytest.mark.parametrize("seed", range(4))
 def test_phase_king_survives_chaos(seed):
-    result = run_phase_king(
+    run = run_checked(
+        "phase-king",
         [pid % 2 for pid in range(13)],
         t=3,
         adversary=ChaosAdversary(seed=400 + seed, corrupt_rate=0.3),
         seed=seed,
-    ).result
-    assert result.agreement_value() in (0, 1)
+        label="chaos-phase-king",
+    )
+    assert run.result.agreement_value() in (0, 1)

@@ -115,3 +115,26 @@ class TestRecording:
         assert len(recording.actions) == result.metrics.rounds
         assert recording.total_corruptions() == 1
         assert recording.total_omissions() == result.metrics.messages_omitted
+
+
+class TestThrottledRecordingComposition:
+    def test_recorded_totals_match_metrics_through_throttle(self):
+        """Recording outside a throttle sees the *capped* schedule, so its
+        totals must equal the engine's metrics, not the inner intent."""
+        inner = SilenceAdversary([0, 1, 2])
+        recording = RecordingAdversary(ThrottledAdversary(inner, 1))
+        result, _ = run(recording, t=3)
+        assert recording.total_corruptions() == 1
+        assert recording.total_corruptions() == len(result.faulty)
+        assert recording.total_omissions() == result.metrics.messages_omitted
+
+    def test_scripted_replay_of_recorded_composition(self):
+        """A recorded composed schedule replays to the identical result."""
+        recording = RecordingAdversary(
+            ThrottledAdversary(SilenceAdversary([0, 1, 2]), 1)
+        )
+        result, _ = run(recording, t=3)
+        replayed, _ = run(recording.scripted(), t=3)
+        assert replayed.faulty == result.faulty
+        assert replayed.metrics.summary() == result.metrics.summary()
+        assert replayed.decisions == result.decisions

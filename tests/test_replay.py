@@ -1,0 +1,334 @@
+"""Tests for repro.replay: recording, invariants, deterministic replay.
+
+The core contract: an execution is a deterministic function of (protocol,
+seeds, adversary action sequence), so a recorded recipe replays to a
+byte-identical result fingerprint — over either engine send path — and a
+recorded *failure* replays to the same invariant violation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary import RandomOmissionAdversary, VoteBalancingAdversary
+from repro.replay import (
+    ExecutionRecipe,
+    InvariantObserver,
+    InvariantViolation,
+    RecordedAction,
+    load_recipe,
+    record,
+    replay,
+    run_checked,
+    save_recipe,
+)
+from repro.runtime import ProcessEnv, SyncNetwork, SyncProcess, result_to_dict
+
+GOLDEN = Path(__file__).parent / "data" / "golden-ben-or.json"
+
+# Engine seeds are pinned per cell to recorded *clean* runs: ben-or is a
+# randomized baseline whose agreement can genuinely break under the vote
+# balancer at some seeds (exactly what run_checked exists to catch), and
+# this matrix is about replay fidelity of passing executions.
+MATRIX = [
+    ("algorithm1", 64, None, "random", 23),
+    ("algorithm1", 64, None, "balance", 23),
+    ("ben-or", 16, 2, "random", 23),
+    ("ben-or", 16, 2, "balance", 3),
+    ("phase-king", 13, 3, "random", 23),
+    ("phase-king", 13, 3, "balance", 23),
+]
+
+
+def make_adversary(kind, seed):
+    if kind == "random":
+        return RandomOmissionAdversary(0.5, seed=seed)
+    return VoteBalancingAdversary(seed=seed)
+
+
+class TestRecordReplayMatrix:
+    @pytest.mark.parametrize("protocol,n,t,adversary,seed", MATRIX)
+    def test_replay_is_byte_identical(self, protocol, n, t, adversary, seed):
+        inputs = [pid % 2 for pid in range(n)]
+        recorded = record(
+            protocol,
+            inputs,
+            t=t,
+            adversary=make_adversary(adversary, seed=5),
+            seed=seed,
+        )
+        assert not recorded.failed
+        report = replay(recorded.recipe)
+        assert report.ok, report.summary()
+        # Byte-identical, not merely "same decision": the full serialized
+        # result (every metrics counter, decision round, faulty pid, ...)
+        # must match the recording exactly.
+        assert json.dumps(
+            result_to_dict(report.run.result), sort_keys=True
+        ) == json.dumps(dict(recorded.recipe.expected), sort_keys=True)
+
+    @pytest.mark.parametrize("protocol,n,t,adversary,seed", MATRIX[:3])
+    def test_replay_across_engine_send_paths(
+        self, protocol, n, t, adversary, seed
+    ):
+        """Omit indices address the flat per-copy order both send paths
+        share, so a schedule recorded on the multicast fast path replays
+        identically on the legacy per-message path and vice versa."""
+        inputs = [pid % 2 for pid in range(n)]
+        recorded = record(
+            protocol,
+            inputs,
+            t=t,
+            adversary=make_adversary(adversary, seed=5),
+            seed=seed,
+            multicast=True,
+        )
+        assert replay(recorded.recipe, multicast=False).ok
+        recorded_legacy = record(
+            protocol,
+            inputs,
+            t=t,
+            adversary=make_adversary(adversary, seed=5),
+            seed=seed,
+            multicast=False,
+        )
+        assert recorded_legacy.recipe.expected == recorded.recipe.expected
+        assert replay(recorded_legacy.recipe, multicast=True).ok
+
+    def test_recipe_file_round_trip(self, tmp_path):
+        recorded = record(
+            "ben-or",
+            [0, 1, 1, 0, 1, 0, 1],
+            adversary=RandomOmissionAdversary(0.3, seed=1),
+            seed=4,
+        )
+        path = save_recipe(recorded.recipe, tmp_path / "r.json")
+        assert load_recipe(path) == recorded.recipe
+        assert replay(load_recipe(path)).ok
+
+
+class TestGoldenRecipe:
+    """Cross-version determinism: the committed artifact was recorded once
+    (CPython 3.11) and must replay byte-identically on every CI
+    interpreter, over both engine send paths — the Mersenne Twister and
+    the engine's seed derivation are stable across 3.11/3.12."""
+
+    def test_golden_replays_on_fast_path(self):
+        report = replay(load_recipe(GOLDEN), multicast=True)
+        assert report.ok, report.summary()
+
+    def test_golden_replays_on_legacy_path(self):
+        report = replay(load_recipe(GOLDEN), multicast=False)
+        assert report.ok, report.summary()
+
+
+class SplitDecider(SyncProcess):
+    """Planted agreement bug: everyone decides its own parity."""
+
+    def program(self, env: ProcessEnv):
+        env.broadcast("x")
+        yield
+        env.decide(self.pid % 2)
+        env.broadcast("y")
+        yield
+        return None
+
+
+class AlienDecider(SyncProcess):
+    """Planted validity bug: decides a value outside the input domain."""
+
+    def program(self, env: ProcessEnv):
+        env.broadcast("x")
+        yield
+        env.decide(7)
+        env.broadcast("y")
+        yield
+        return None
+
+
+class TestInvariantObserver:
+    def test_agreement_trips_with_round_number(self):
+        processes = [SplitDecider(pid, 4) for pid in range(4)]
+        network = SyncNetwork(processes, observers=[InvariantObserver()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            network.run()
+        assert excinfo.value.invariant == "agreement"
+        assert excinfo.value.round == 1
+
+    def test_validity_trips(self):
+        processes = [AlienDecider(pid, 4) for pid in range(4)]
+        network = SyncNetwork(
+            processes, observers=[InvariantObserver(inputs=[0, 1, 0, 1])]
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            network.run()
+        assert excinfo.value.invariant == "validity"
+
+    def test_clean_run_unaffected(self):
+        recorded = record(
+            "phase-king",
+            [pid % 2 for pid in range(13)],
+            t=3,
+            adversary=RandomOmissionAdversary(0.5, seed=8),
+            seed=8,
+            invariants=True,
+        )
+        assert not recorded.failed
+        bare = record(
+            "phase-king",
+            [pid % 2 for pid in range(13)],
+            t=3,
+            adversary=RandomOmissionAdversary(0.5, seed=8),
+            seed=8,
+            invariants=False,
+        )
+        # Observers never perturb the execution.
+        assert recorded.recipe.expected == bare.recipe.expected
+
+    def test_payload_shape(self):
+        violation = InvariantViolation("agreement", 3, "split decisions")
+        assert violation.payload() == {
+            "invariant": "agreement",
+            "round": 3,
+            "detail": "split decisions",
+        }
+        assert isinstance(violation, AssertionError)
+
+
+class TestRecordedFailures:
+    def test_failing_run_folds_into_recipe(self):
+        processes_n = 4
+
+        def build(request):
+            return (
+                [SplitDecider(pid, processes_n) for pid in range(processes_n)],
+                0,
+            )
+
+        from repro.harness import ProtocolSpec, register_protocol
+
+        register_protocol(
+            ProtocolSpec(
+                name="split-decider",
+                summary="test-only planted agreement bug",
+                build=build,
+                default_max_rounds=5,
+                sweepable=False,
+                uses_inputs=False,
+            ),
+            replace=True,
+        )
+        recorded = record("split-decider", n=processes_n, seed=0)
+        assert recorded.failed
+        assert recorded.recipe.failing
+        assert recorded.recipe.expected is None
+        assert recorded.recipe.expected_failure["invariant"] == "agreement"
+        report = replay(recorded.recipe)
+        assert report.reproduced_failure
+        assert report.ok
+
+    def test_run_checked_saves_replayable_recipe(self, tmp_path):
+        from repro.harness import ProtocolSpec, register_protocol
+
+        def build(request):
+            return [SplitDecider(pid, 4) for pid in range(4)], 0
+
+        register_protocol(
+            ProtocolSpec(
+                name="split-decider",
+                summary="test-only planted agreement bug",
+                build=build,
+                default_max_rounds=5,
+                sweepable=False,
+                uses_inputs=False,
+            ),
+            replace=True,
+        )
+        with pytest.raises(InvariantViolation):
+            run_checked("split-decider", n=4, seed=0, save_dir=tmp_path)
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        assert "agreement" in saved[0].name
+        assert replay(load_recipe(saved[0])).reproduced_failure
+
+
+class TestRecipeDataclass:
+    def test_totals_and_with_actions(self):
+        recipe = ExecutionRecipe(
+            protocol="ben-or",
+            n=5,
+            seed=1,
+            actions=(
+                RecordedAction(round=0, corrupt=(1, 2), omit=(0, 1, 2)),
+                RecordedAction(round=2, omit=(4,)),
+            ),
+        )
+        assert recipe.total_corruptions() == 2
+        assert recipe.total_omissions() == 4
+        assert not recipe.failing
+        trimmed = recipe.with_actions(recipe.actions[:1])
+        assert trimmed.total_omissions() == 3
+        assert trimmed.protocol == recipe.protocol
+
+
+class TestReplayCLI:
+    def test_cli_replay_passing_recipe(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorded = record(
+            "ben-or",
+            [0, 1, 1, 0, 1, 0, 1],
+            adversary=RandomOmissionAdversary(0.3, seed=1),
+            seed=4,
+        )
+        path = save_recipe(recorded.recipe, tmp_path / "r.json")
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "replay matches recorded fingerprint" in out
+
+    def test_cli_replay_detects_tampering(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorded = record(
+            "ben-or",
+            [0, 1, 1, 0, 1, 0, 1],
+            adversary=RandomOmissionAdversary(0.3, seed=1),
+            seed=4,
+        )
+        data = json.loads(
+            save_recipe(recorded.recipe, tmp_path / "r.json").read_text()
+        )
+        data["expected"]["metrics"]["messages_sent"] += 1
+        (tmp_path / "r.json").write_text(json.dumps(data))
+        assert main(["replay", str(tmp_path / "r.json")]) == 1
+        assert "messages_sent" in capsys.readouterr().out
+
+
+class TestCampaignFailureRecording:
+    def test_failing_cell_saves_recipe_and_sweep_continues(self, tmp_path):
+        from repro.analysis.campaign import (
+            CampaignSpec,
+            run_campaign,
+            summarize_campaign,
+        )
+
+        spec = CampaignSpec(
+            name="replay-smoke",
+            protocol="ben-or",
+            ns=[9],
+            adversaries=["random"],
+            seeds=[0, 1],
+        )
+        records = run_campaign(spec, record_failures=tmp_path)
+        assert len(records) == 2
+        failed = [rec for rec in records if rec.get("failed")]
+        for rec in failed:
+            assert Path(rec["recipe"]).exists()
+        # Healthy cells keep their usual record shape and still aggregate.
+        healthy = [rec for rec in records if not rec.get("failed")]
+        summary = summarize_campaign(records)
+        if healthy:
+            assert summary[0]["runs"] == len(healthy)
+        else:
+            assert summary == []

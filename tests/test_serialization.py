@@ -63,9 +63,65 @@ class TestResultRoundTrip:
 
     def test_version_checked(self):
         data = result_to_dict(sample_result())
-        data["format_version"] = 999
-        with pytest.raises(ValueError, match="format version"):
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema version 999"):
             result_from_dict(data)
+
+    def test_untagged_payload_rejected(self):
+        data = result_to_dict(sample_result())
+        del data["schema"]
+        with pytest.raises(ValueError, match="schema version None"):
+            result_from_dict(data)
+
+    def test_legacy_format_version_accepted(self):
+        """Files written before the ``schema`` tag carried
+        ``format_version: 1`` and must still load."""
+        result = sample_result()
+        data = result_to_dict(result)
+        del data["schema"]
+        data["metrics"].pop("schema")
+        data["format_version"] = 1
+        rebuilt = result_from_dict(data)
+        assert rebuilt.agreement_value() == result.agreement_value()
+
+    def test_metrics_schema_checked(self):
+        data = metrics_to_dict(sample_result().metrics)
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="metrics schema"):
+            metrics_from_dict(data)
+
+
+class TestRecipeSerialization:
+    def test_round_trip_through_runtime_wrappers(self):
+        from repro.replay import ExecutionRecipe, RecordedAction
+        from repro.runtime import recipe_from_dict, recipe_to_dict
+
+        recipe = ExecutionRecipe(
+            protocol="ben-or",
+            n=7,
+            seed=3,
+            inputs=(0, 1, 1, 0, 1, 0, 1),
+            t=1,
+            actions=(RecordedAction(round=0, corrupt=(2,), omit=(0, 5)),),
+            note="unit",
+        )
+        payload = json.loads(json.dumps(recipe_to_dict(recipe)))
+        assert payload["schema"] == 2
+        assert payload["kind"] == "execution-recipe"
+        rebuilt = recipe_from_dict(payload)
+        assert rebuilt == recipe
+
+    def test_unknown_schema_rejected(self):
+        from repro.runtime import recipe_from_dict
+
+        with pytest.raises(ValueError, match="recipe schema"):
+            recipe_from_dict({"schema": 999, "kind": "execution-recipe"})
+
+    def test_non_recipe_payload_rejected(self):
+        from repro.runtime import recipe_from_dict
+
+        with pytest.raises(ValueError, match="not an execution recipe"):
+            recipe_from_dict(result_to_dict(sample_result()))
 
 
 class TestTraceSerialization:
