@@ -96,6 +96,6 @@ def test_theorem1_validity_costs_no_randomness(benchmark):
     print_series(
         "validity fast-path", ["n", "decision", "random bits"], results
     )
-    for n, decision, random_bits in results:
+    for _n, decision, random_bits in results:
         assert decision == 1
         assert random_bits == 0

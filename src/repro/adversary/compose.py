@@ -19,7 +19,8 @@ classes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..runtime import (
     Adversary,
@@ -106,7 +107,7 @@ class UnionAdversary(Adversary):
         faulty_after = view.faulty | set(corrupt)
         legal_omit = frozenset(
             index
-            for index in omit
+            for index in sorted(omit)
             if 0 <= index < len(view.messages)
             and (
                 view.messages[index].sender in faulty_after
@@ -168,7 +169,7 @@ class RecordingAdversary(Adversary):
     def total_omissions(self) -> int:
         return sum(len(action.omit) for _, action in self.actions)
 
-    def scripted(self, strict: bool = True) -> "ScriptedAdversary":
+    def scripted(self, strict: bool = True) -> ScriptedAdversary:
         """A :class:`ScriptedAdversary` replaying the recorded schedule.
 
         Lets any recorded live run be re-executed verbatim — the

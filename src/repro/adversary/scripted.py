@@ -26,7 +26,8 @@ the serialization-facing replay adversary.)
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from ..runtime import Adversary, AdversaryAction, NetworkView
 

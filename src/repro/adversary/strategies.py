@@ -26,7 +26,7 @@ encode *intent*:
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..runtime.randomness import stable_seed
 

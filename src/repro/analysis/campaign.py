@@ -40,7 +40,8 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..adversary import (
     RandomOmissionAdversary,
@@ -289,7 +290,7 @@ def load_journal(path: str | Path) -> list[dict[str, Any]]:
     undecodable lines are skipped, not fatal, so resume always works.
     """
     records: list[dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:

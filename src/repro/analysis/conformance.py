@@ -18,7 +18,7 @@ so the harness can instantiate it for every scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..adversary import (
     RandomOmissionAdversary,

@@ -8,7 +8,7 @@ benchmark modules stay thin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..adversary import SilenceAdversary, VoteBalancingAdversary
 from ..baselines import run_ben_or, run_dolev_strong, run_phase_king

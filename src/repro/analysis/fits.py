@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -6,7 +6,7 @@ inline, without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 #: Eight block heights, lowest to highest.
 BARS = "▁▂▃▄▅▆▇█"

@@ -21,7 +21,7 @@ Two roles in this repository:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..runtime import (
     Adversary,

@@ -22,7 +22,7 @@ phases because support then stays at least ``n - t``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..runtime import (
     Adversary,

@@ -30,7 +30,7 @@ against a faulty sender all correct processes converge on the value or on
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..runtime import (
     Adversary,

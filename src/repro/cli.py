@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from .adversary import (
     RandomOmissionAdversary,
@@ -48,7 +48,7 @@ def _build_adversary(name: str, n: int, t: int, seed: int) -> Adversary | None:
     except KeyError:
         raise SystemExit(
             f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
-        )
+        ) from None
     return factory(n, t, seed)
 
 

@@ -35,7 +35,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..baselines.dolev_strong import dolev_strong_consensus
 from ..graphs import SpreadingGraph, spreading_graph

@@ -35,7 +35,7 @@ budget, and the saving shrinks as the adversary forces more epochs — the
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..baselines.dolev_strong import dolev_strong_consensus
 from ..params import ProtocolParams

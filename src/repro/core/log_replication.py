@@ -23,7 +23,7 @@ protocol: each slot is exactly one `run_consensus` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..params import ProtocolParams
 from ..runtime import Adversary

@@ -24,7 +24,7 @@ Strong validity holds: the decided value is some process's actual input
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..baselines.dolev_strong import dolev_strong_consensus
 from ..params import ProtocolParams

@@ -71,7 +71,7 @@ def group_bits_spreading(
     operative = True
     empty_pack = (TAG_PACK, ())
 
-    for round_index in range(rounds):
+    for _round_index in range(rounds):
         if operative:
             for neighbor in state.live_neighbors():
                 queue = pending[neighbor]

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..baselines.dolev_strong import dolev_strong_consensus
 from ..params import ProtocolParams, log2ceil

@@ -17,7 +17,7 @@ Theorem-4 graph they grow geometrically until they span ``n/10`` vertices.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from collections.abc import Iterable
 
 from .graph import SpreadingGraph
 

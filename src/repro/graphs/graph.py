@@ -6,7 +6,7 @@ counts, so this avoids pulling a full graph library into the hot path.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 
 class SpreadingGraph:

@@ -20,10 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..params import ProtocolParams
 from ..runtime import Adversary, RoundObserver, SyncNetwork, SyncProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..core.consensus import ConsensusRun
 
 
 @dataclass(frozen=True)
@@ -159,7 +163,7 @@ def execute(
     options: Mapping[str, Any] | None = None,
     multicast: bool = True,
     **extra_options: Any,
-):
+) -> ConsensusRun:
     """Run one protocol end-to-end through the unified harness.
 
     ``protocol`` is a registered name or a :class:`ProtocolSpec`.

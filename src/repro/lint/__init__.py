@@ -1,0 +1,44 @@
+"""repro.lint — determinism & API-conformance static analysis.
+
+A small AST-based linter encoding the repo's reproducibility contract as
+checkable rules (``REP001``–``REP006``): metered randomness, no ambient
+entropy, order-stable iteration, no deprecated APIs, adversary purity,
+and protocol-registration completeness.  See ``docs/lint.md`` for the
+rule catalog and suppression policy.
+
+Run it as ``python -m repro.lint [paths]``; use programmatically via
+:func:`lint_paths` / :func:`lint_source`.
+"""
+
+from .baseline import Baseline, write_baseline
+from .context import ModuleContext, Project
+from .engine import (
+    PARSE_ERROR_CODE,
+    LintReport,
+    collect_files,
+    lint_modules,
+    lint_paths,
+    lint_source,
+)
+from .findings import Finding
+from .pragmas import PragmaIndex
+from .rules import Rule, all_rules, register_rule, rule_for
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "PragmaIndex",
+    "Project",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "rule_for",
+    "write_baseline",
+]

@@ -1,0 +1,84 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file keyed by finding fingerprints (see
+:class:`~.findings.Finding`).  Findings whose fingerprint appears in the
+baseline are reported as *baselined* and do not affect the exit code;
+anything new fails the run.  Fingerprints form a multiset: two identical
+offending lines need two baseline entries, so silently duplicating a
+grandfathered pattern still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    path: Path | None = None
+    entries: Counter[str] = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return cls(path=path)
+        data = json.loads(raw)
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported lint baseline schema {schema!r} in {path} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        entries: Counter[str] = Counter()
+        for item in data.get("findings", []):
+            entries[item["fingerprint"]] += 1
+        return cls(path=path, entries=entries)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split *findings* into (new, baselined).
+
+        Each baseline entry absolves at most one finding; matching is by
+        fingerprint, so line-number drift does not invalidate entries but
+        editing the offending line does.
+        """
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+                baselined.append(finding.as_baselined())
+            else:
+                new.append(finding)
+        return new, baselined
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write *findings* as the new baseline (sorted, human-diffable)."""
+    items = [
+        {
+            "fingerprint": finding.fingerprint,
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"schema": SCHEMA_VERSION, "findings": items}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,120 @@
+"""Rule base class and registry.
+
+Rules are singletons keyed by code (``REPxxx``).  Each rule declares which
+modules it applies to and yields :class:`~.findings.Finding` records; the
+engine handles pragma suppression and baselines, so rules stay pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from typing import ClassVar
+
+from .context import ModuleContext, Project
+from .findings import Finding
+
+
+class Rule(ABC):
+    """One lint check with a stable ``REPxxx`` code."""
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    summary: ClassVar[str]
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.tree is not None
+
+    @abstractmethod
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        """Yield findings for *module*; must not mutate either argument."""
+
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=module.relpath,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            source_line=module.source_line(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+_BUILTINS_LOADED = False
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule singleton to the registry."""
+    code = cls.code
+    if code in _REGISTRY and type(_REGISTRY[code]) is not cls:
+        raise ValueError(f"duplicate lint rule code {code!r}")
+    _REGISTRY[code] = cls()
+    return cls
+
+
+def _ensure_builtin_rules() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from . import rules_api, rules_determinism, rules_model  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    _ensure_builtin_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_for(code: str) -> Rule:
+    _ensure_builtin_rules()
+    return _REGISTRY[code]
+
+
+def dotted_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; None when the root is not a Name.
+
+    Shared helper for rules that match attribute access on imported
+    modules (``random.shuffle``, ``time.time``, ``datetime.datetime.now``).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def module_aliases(tree: ast.Module, module_name: str) -> set[str]:
+    """Local names bound to ``import module_name`` (honouring ``as``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name or alias.name.startswith(
+                    module_name + "."
+                ):
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def from_imports(tree: ast.Module, module_name: str) -> dict[str, ast.ImportFrom]:
+    """Names bound by ``from module_name import x [as y]`` → binding node."""
+    bound: dict[str, ast.ImportFrom] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            for alias in node.names:
+                bound[alias.asname or alias.name] = node
+    return bound

@@ -1,0 +1,225 @@
+"""Model-conformance rules: REP005 (adversary purity) and REP006
+(protocol-registration completeness).
+
+REP005 guards the omission model itself: the paper's adversary *observes*
+the full-information view and *returns* an action; the engine is the only
+component that mutates network state.  An adversary that writes through
+its ``view``/``ctx`` argument silently bypasses budget validation and the
+record/replay action log.
+
+REP006 keeps the protocol registry complete: a protocol module under
+``repro/core`` or ``repro/baselines`` that exposes a ``run_*`` entry point
+must be wired into ``repro.harness.registry`` — either by calling
+``register_protocol`` itself or by being imported from the central
+registration module ``repro/harness/protocols.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from .context import ModuleContext, Project
+from .findings import Finding
+from .rules import Rule, dotted_chain, register_rule
+
+#: In-place mutators on containers reachable from an adversary's view.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+#: Attributes whose methods are exempt even when reached through a
+#: parameter: drawing from ``ctx.rng`` is the sanctioned way to randomize.
+_EXEMPT_ATTRS = frozenset({"rng", "random"})
+
+
+def _root_name(node: ast.expr) -> str | None:
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _passes_through(node: ast.expr, attr_names: frozenset[str]) -> bool:
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute) and current.attr in attr_names:
+            return True
+        current = current.value
+    return False
+
+
+@register_rule
+class AdversaryPurity(Rule):
+    """REP005: adversaries return actions; they never mutate the view."""
+
+    code = "REP005"
+    name = "adversary-purity"
+    summary = "Adversary method mutates view/network state instead of returning an action"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _subclasses_adversary(node):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                yield from self._check_method(module, stmt)
+
+    def _check_method(
+        self, module: ModuleContext, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        params = {
+            arg.arg
+            for arg in method.args.posonlyargs
+            + method.args.args
+            + method.args.kwonlyargs
+            if arg.arg not in {"self", "cls"}
+        }
+        if not params:
+            return
+        # Names bound by iterating something reachable from a parameter
+        # (``for message in view.messages``) are tainted too.
+        tainted = set(params)
+        for node in ast.walk(method):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                root = _root_name(node.iter)
+                if root in tainted and isinstance(node.target, ast.Name):
+                    tainted.add(node.target.id)
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root in tainted:
+                            yield self.finding(
+                                module,
+                                target,
+                                f"adversary writes through `{root}` — return "
+                                "an AdversaryAction instead of mutating the "
+                                "view",
+                            )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in _MUTATORS:
+                    continue
+                root = _root_name(node.func.value)
+                if root not in tainted:
+                    continue
+                if _passes_through(node.func.value, _EXEMPT_ATTRS):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"adversary calls `.{node.func.attr}()` on state reached "
+                    f"through `{root}` — return an AdversaryAction instead "
+                    "of mutating the view",
+                )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.tree is not None
+
+
+def _subclasses_adversary(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        chain = dotted_chain(base)
+        if chain and chain[-1].endswith("Adversary"):
+            return True
+    return False
+
+
+_REP006_SCOPE = ("repro/core", "repro/baselines")
+
+
+@register_rule
+class ProtocolRegistration(Rule):
+    """REP006: every run_* protocol module is wired into the registry."""
+
+    code = "REP006"
+    name = "protocol-registration"
+    summary = (
+        "protocol module defines run_* but is not registered with "
+        "repro.harness.registry"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.tree is None:
+            return False
+        if module.endswith("__init__.py"):
+            return False
+        return module.in_dirs(*_REP006_SCOPE)
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        assert module.tree is not None
+        entry = next(
+            (
+                stmt
+                for stmt in module.tree.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name.startswith("run_")
+            ),
+            None,
+        )
+        if entry is None:
+            return
+        if self._registers_itself(module.tree):
+            return
+        registration = project.registration_source(module)
+        if registration is not None and self._imported_by(module, registration):
+            return
+        where = (
+            "repro/harness/protocols.py"
+            if registration is not None
+            else "a registration module"
+        )
+        yield self.finding(
+            module,
+            entry,
+            f"module defines `{entry.name}` but registers no ProtocolSpec: "
+            "call repro.harness.registry.register_protocol, or import the "
+            f"module from {where}",
+        )
+
+    @staticmethod
+    def _registers_itself(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if chain and chain[-1] == "register_protocol":
+                    return True
+        return False
+
+    @staticmethod
+    def _imported_by(module: ModuleContext, registration_source: str) -> bool:
+        stem = module.path.stem
+        package = module.path.parent.name
+        pattern = re.compile(
+            rf"\b{re.escape(package)}\s*\.\s*{re.escape(stem)}\b"
+        )
+        return pattern.search(registration_source) is not None

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..runtime.randomness import stable_seed
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 NULL_VALENT = "null-valent"
 ONE_VALENT = "1-valent"

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..runtime import (
     Adversary,
@@ -155,7 +155,7 @@ class RolloutValencyAdversary(Adversary):
         """
         hits = 0
         fork_round = len(prefix)
-        for rollout_index in range(self.config.rollouts):
+        for _rollout_index in range(self.config.rollouts):
             self.evaluations += 1
             processes = self.process_factory()
             scripted = ScriptedAdversary(prefix)

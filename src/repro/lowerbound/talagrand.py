@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence
+from collections.abc import Sequence
 
 
 @lru_cache(maxsize=4096)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..baselines.ben_or import BenOrVotingProcess, run_ben_or
 from ..runtime import Adversary, AdversaryAction, NetworkView

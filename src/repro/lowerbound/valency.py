@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from collections.abc import Hashable, Mapping
 
 #: Outcome marker: some adversary schedule makes surviving processes decide
 #: different values (agreement violation).

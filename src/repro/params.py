@@ -135,12 +135,12 @@ class ProtocolParams:
     # Presets
     # ------------------------------------------------------------------
     @classmethod
-    def paper(cls) -> "ProtocolParams":
+    def paper(cls) -> ProtocolParams:
         """The verbatim constants from the paper (Theorems 1, 4, 5)."""
         return cls()
 
     @classmethod
-    def practical(cls) -> "ProtocolParams":
+    def practical(cls) -> ProtocolParams:
         """Scaled-down constants preserving the paper's functional forms.
 
         Suitable for simulation at n up to a few thousand; see DESIGN.md
@@ -158,7 +158,7 @@ class ProtocolParams:
             epoch_min=5,
         )
 
-    def with_overrides(self, **changes: object) -> "ProtocolParams":
+    def with_overrides(self, **changes: object) -> ProtocolParams:
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 

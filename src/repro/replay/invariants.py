@@ -25,7 +25,8 @@ catches the violation to save a recipe for it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..runtime import RoundObserver
 
@@ -45,7 +46,7 @@ class InvariantViolation(AssertionError):
     harness-level catches keep working; adds structure for recipes.
     """
 
-    def __init__(self, invariant: str, round_no: int | None, detail: str):
+    def __init__(self, invariant: str, round_no: int | None, detail: str) -> None:
         super().__init__(
             f"{invariant} violated"
             + (f" at round {round_no}" if round_no is not None else "")
@@ -121,9 +122,9 @@ class InvariantObserver(RoundObserver):
     def on_adversary_action(
         self,
         round_no: int,
-        view: "NetworkView",
-        action: "AdversaryAction",
-        network: "SyncNetwork",
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
         if len(network.faulty) > network.t:
             raise InvariantViolation(
@@ -132,7 +133,7 @@ class InvariantObserver(RoundObserver):
                 f"{network.t}",
             )
 
-    def on_round_end(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         metrics = network.metrics
         balance = (
             metrics.messages_delivered
@@ -157,7 +158,7 @@ class InvariantObserver(RoundObserver):
         self._check_validity(decisions, faulty, round_no)
 
     def on_run_end(
-        self, result: "ExecutionResult", network: "SyncNetwork"
+        self, result: ExecutionResult, network: SyncNetwork
     ) -> None:
         self._check_agreement(result.decisions, result.faulty, None)
         self._check_validity(result.decisions, result.faulty, None)

@@ -22,7 +22,8 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..params import ProtocolParams
 from ..runtime.serialization import SCHEMA_VERSION, check_schema
@@ -76,7 +77,7 @@ class ExecutionRecipe:
     # ------------------------------------------------------------------
     def with_actions(
         self, actions: Sequence[RecordedAction]
-    ) -> "ExecutionRecipe":
+    ) -> ExecutionRecipe:
         """Copy of this recipe with a different adversary schedule."""
         return dataclasses.replace(self, actions=tuple(actions))
 

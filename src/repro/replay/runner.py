@@ -26,7 +26,8 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..adversary.scripted import ScriptedAdversary
 from ..harness import execute
@@ -65,9 +66,9 @@ class RecipeRecorder(RoundObserver):
     def on_adversary_action(
         self,
         round_no: int,
-        view: "NetworkView",
-        action: "AdversaryAction",
-        network: "SyncNetwork",
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
         newly = sorted(frozenset(action.corrupt) - view.faulty)
         omit = sorted(action.omit)
@@ -86,7 +87,7 @@ class RecordedRun:
     """Outcome of :func:`record`: the recipe plus the live run (if any)."""
 
     recipe: ExecutionRecipe
-    run: "ConsensusRun | None" = None
+    run: ConsensusRun | None = None
     failure: BaseException | None = None
 
     @property
@@ -96,7 +97,8 @@ class RecordedRun:
 
 def _canonical(payload: Mapping[str, Any]) -> dict[str, Any]:
     """JSON-normalize a payload (tuples -> lists, int keys -> str)."""
-    return json.loads(json.dumps(payload, sort_keys=True))
+    normalized: dict[str, Any] = json.loads(json.dumps(payload, sort_keys=True))
+    return normalized
 
 
 def _failure_payload(failure: BaseException) -> dict[str, Any]:
@@ -147,7 +149,7 @@ def record(
         attached.append(InvariantObserver(inputs=inputs))
     attached.extend(observers)
 
-    run: "ConsensusRun | None" = None
+    run: ConsensusRun | None = None
     failure: BaseException | None = None
     try:
         run = execute(
@@ -169,7 +171,7 @@ def record(
 
     recipe = ExecutionRecipe(
         protocol=protocol,
-        n=n if n is not None else len(inputs),
+        n=n if n is not None else len(() if inputs is None else inputs),
         inputs=tuple(inputs) if inputs is not None else None,
         t=t,
         seed=seed,
@@ -195,7 +197,7 @@ class ReplayReport:
     """Outcome of :func:`replay`, with the verification verdict."""
 
     recipe: ExecutionRecipe
-    run: "ConsensusRun | None" = None
+    run: ConsensusRun | None = None
     failure: BaseException | None = None
     mismatches: list[str] = field(default_factory=list)
 
@@ -308,7 +310,7 @@ def replay(
         report.failure = exc
         return report
 
-    if recipe.expected is not None:
+    if recipe.expected is not None and report.run is not None:
         actual = _canonical(result_to_dict(report.run.result))
         report.mismatches = _diff_payload(dict(recipe.expected), actual)
     return report
@@ -328,7 +330,7 @@ def run_checked(
     shrink: bool = True,
     label: str = "",
     **kwargs: Any,
-) -> "ConsensusRun":
+) -> ConsensusRun:
     """Record a run with invariants on; on failure, shrink + save + raise.
 
     The fuzzing entry point: a clean run returns its ``ConsensusRun``; a
@@ -338,7 +340,9 @@ def run_checked(
     with the artifact path attached as an exception note.
     """
     recorded = record(protocol, inputs, invariants=True, **kwargs)
-    if not recorded.failed:
+    failure = recorded.failure
+    if failure is None:
+        assert recorded.run is not None
         return recorded.run
 
     recipe = recorded.recipe
@@ -352,14 +356,16 @@ def run_checked(
             # shrink) — save the unshrunk recipe as-is.
             pass
     stem = label or recipe.protocol
-    name = f"{stem}-seed{recipe.seed}-{recipe.expected_failure['invariant']}"
+    failure_info = recipe.expected_failure
+    assert failure_info is not None  # record() always sets it on failure
+    name = f"{stem}-seed{recipe.seed}-{failure_info['invariant']}"
     path = save_recipe(
         recipe,
         Path(save_dir if save_dir is not None else counterexample_dir())
         / f"{name}.json",
     )
-    recorded.failure.add_note(
+    failure.add_note(
         f"counterexample recipe saved to {path} "
         f"(replay with: python -m repro.cli replay {path})"
     )
-    raise recorded.failure
+    raise failure

@@ -20,16 +20,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from .recipe import ExecutionRecipe, RecordedAction
 from .runner import _failure_payload, replay
 
+T = TypeVar("T")
+
 
 def _ddmin(
-    items: list,
-    still_fails: Callable[[list], bool],
-) -> list:
+    items: list[T],
+    still_fails: Callable[[list[T]], bool],
+) -> list[T]:
     """Classic ddmin over ``items``: greedily remove complement chunks.
 
     ``still_fails`` must hold for the full list; the returned sublist is

@@ -25,8 +25,8 @@ The engine's broadcast fast path rides two further types defined here:
 from __future__ import annotations
 
 from bisect import bisect_right
-from collections.abc import Sequence
-from typing import Any, Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any, overload
 
 #: Flat per-message overhead charged on top of the payload, covering the
 #: sender id and message framing.  One machine word keeps small control
@@ -171,7 +171,7 @@ class Multicast:
 MessageRecord = Message | Multicast
 
 
-class MessageBatch(Sequence):
+class MessageBatch(Sequence[Message]):
     """A round's outbound traffic as a flat, lazily-expanded message list.
 
     Wraps the ordered list of :class:`Message` / :class:`Multicast` records
@@ -223,7 +223,13 @@ class MessageBatch(Sequence):
     def __len__(self) -> int:
         return self._total
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Message: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[Message]: ...
+
+    def __getitem__(self, index: int | slice) -> Message | list[Message]:
         if isinstance(index, slice):
             return [
                 self._copy_at(position)

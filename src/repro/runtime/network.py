@@ -39,7 +39,8 @@ import inspect
 import random
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from .messages import Message, MessageBatch, Multicast
 from .metrics import Metrics
@@ -76,7 +77,7 @@ class AdversaryAction:
     omit: frozenset[int] = frozenset()
 
     @staticmethod
-    def nothing() -> "AdversaryAction":
+    def nothing() -> AdversaryAction:
         return AdversaryAction()
 
 
@@ -154,7 +155,7 @@ class NetworkView:
         """Indices of messages sent by or to any of ``pids``."""
         by_sender, by_recipient = self._indexes()
         indices: list[int] = []
-        for pid in set(pids):
+        for pid in sorted(set(pids)):
             indices.extend(by_sender.get(pid, ()))
             indices.extend(by_recipient.get(pid, ()))
         return frozenset(indices)
@@ -163,7 +164,7 @@ class NetworkView:
         """Indices of messages sent by any of ``pids``."""
         by_sender, _ = self._indexes()
         indices: list[int] = []
-        for pid in set(pids):
+        for pid in sorted(set(pids)):
             indices.extend(by_sender.get(pid, ()))
         return frozenset(indices)
 
@@ -171,7 +172,7 @@ class NetworkView:
         """Indices of messages addressed to any of ``pids``."""
         _, by_recipient = self._indexes()
         indices: list[int] = []
-        for pid in set(pids):
+        for pid in sorted(set(pids)):
             indices.extend(by_recipient.get(pid, ()))
         return frozenset(indices)
 
@@ -193,7 +194,7 @@ class AdversaryContext:
     rng: random.Random
 
 
-def setup_adversary(adversary: "Adversary", ctx: AdversaryContext) -> None:
+def setup_adversary(adversary: Adversary, ctx: AdversaryContext) -> None:
     """Invoke ``adversary.setup`` with the context, adapting legacy hooks.
 
     The historical lifecycle hook was ``setup(n, t, processes)``; the
@@ -404,7 +405,7 @@ class SyncNetwork:
         self._inboxes: list[list[Message]] = [[] for _ in range(n)]
 
     # ------------------------------------------------------------------
-    def add_observer(self, observer: RoundObserver) -> "SyncNetwork":
+    def add_observer(self, observer: RoundObserver) -> SyncNetwork:
         """Attach a :class:`RoundObserver`; returns the network (chainable).
 
         Attach before :meth:`run` — observers joining mid-run would see a
@@ -486,7 +487,7 @@ class SyncNetwork:
                 f"corruption budget exceeded: have {len(self.faulty)}, "
                 f"tried to add {len(new_corruptions)}, budget t={self.t}"
             )
-        for pid in new_corruptions:
+        for pid in sorted(new_corruptions):
             if not 0 <= pid < self.n:
                 raise AdversaryProtocolError(f"cannot corrupt unknown pid {pid}")
         self.faulty |= new_corruptions
@@ -495,7 +496,9 @@ class SyncNetwork:
         if omit:
             total = len(batch)
             faulty = self.faulty
-            for index in omit:
+            # Sorted so an illegal schedule always names the *same* offending
+            # index, whatever set-iteration order the interpreter picks.
+            for index in sorted(omit):
                 if not 0 <= index < total:
                     raise AdversaryProtocolError(
                         f"omit index {index} out of range "

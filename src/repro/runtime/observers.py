@@ -23,7 +23,8 @@ built-in observers.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from .messages import Message, MessageBatch
 from .metrics import Metrics
@@ -42,23 +43,23 @@ class RoundObserver:
     tolerate an unmatched ``on_round_start`` right before ``on_run_end``.
     """
 
-    def on_run_start(self, network: "SyncNetwork") -> None:
+    def on_run_start(self, network: SyncNetwork) -> None:
         """Called once, after the adversary's ``setup`` and before round 0."""
 
-    def on_round_start(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_start(self, round_no: int, network: SyncNetwork) -> None:
         """Called before the round's local-computation phase."""
 
     def on_messages_sent(
-        self, round_no: int, outbound: Sequence[Message], network: "SyncNetwork"
+        self, round_no: int, outbound: Sequence[Message], network: SyncNetwork
     ) -> None:
         """Called after local computation with the round's outbound traffic."""
 
     def on_adversary_action(
         self,
         round_no: int,
-        view: "NetworkView",
-        action: "AdversaryAction",
-        network: "SyncNetwork",
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
         """Called after the adversary acted and the engine validated the
         action (corruptions already applied to ``network.faulty``; the
@@ -69,7 +70,7 @@ class RoundObserver:
         round_no: int,
         delivered: Sequence[Message],
         lost: Sequence[Message],
-        network: "SyncNetwork",
+        network: SyncNetwork,
     ) -> None:
         """Called after surviving messages were placed in inboxes.
 
@@ -77,11 +78,11 @@ class RoundObserver:
         adversary but its recipient had already terminated.
         """
 
-    def on_round_end(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         """Called at the very end of the round, before the counter advances."""
 
     def on_run_end(
-        self, result: "ExecutionResult", network: "SyncNetwork"
+        self, result: ExecutionResult, network: SyncNetwork
     ) -> None:
         """Called once with the finished :class:`ExecutionResult`."""
 
@@ -98,7 +99,7 @@ class MetricsObserver(RoundObserver):
         self.metrics = metrics
 
     def on_messages_sent(
-        self, round_no: int, outbound: Sequence[Message], network: "SyncNetwork"
+        self, round_no: int, outbound: Sequence[Message], network: SyncNetwork
     ) -> None:
         # A MessageBatch answers the bit total from its records (one term
         # per multicast) instead of materializing every per-copy view.
@@ -111,9 +112,9 @@ class MetricsObserver(RoundObserver):
     def on_adversary_action(
         self,
         round_no: int,
-        view: "NetworkView",
-        action: "AdversaryAction",
-        network: "SyncNetwork",
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
         self.metrics.record_omissions(len(action.omit))
 
@@ -122,7 +123,7 @@ class MetricsObserver(RoundObserver):
         round_no: int,
         delivered: Sequence[Message],
         lost: Sequence[Message],
-        network: "SyncNetwork",
+        network: SyncNetwork,
     ) -> None:
         # The engine accumulates delivery bit totals while it expands the
         # batch; fall back to summing for hand-driven dispatch.
@@ -145,7 +146,7 @@ class CallbackObserver(RoundObserver):
     ) -> None:
         self.callback = callback
 
-    def on_round_end(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         self.callback(round_no, network)
 
 
@@ -180,10 +181,10 @@ class RoundProfiler(RoundObserver):
         self._delivery_elapsed = 0.0
 
     # ------------------------------------------------------------------
-    def on_run_start(self, network: "SyncNetwork") -> None:
+    def on_run_start(self, network: SyncNetwork) -> None:
         self._run_started = time.perf_counter()
 
-    def on_round_start(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_start(self, round_no: int, network: SyncNetwork) -> None:
         self._round_started = self._last_mark = time.perf_counter()
 
     def _phase(self) -> float:
@@ -193,7 +194,7 @@ class RoundProfiler(RoundObserver):
         return elapsed
 
     def on_messages_sent(
-        self, round_no: int, outbound: Sequence[Message], network: "SyncNetwork"
+        self, round_no: int, outbound: Sequence[Message], network: SyncNetwork
     ) -> None:
         self._compute_elapsed = self._phase()
         self.compute += self._compute_elapsed
@@ -201,9 +202,9 @@ class RoundProfiler(RoundObserver):
     def on_adversary_action(
         self,
         round_no: int,
-        view: "NetworkView",
-        action: "AdversaryAction",
-        network: "SyncNetwork",
+        view: NetworkView,
+        action: AdversaryAction,
+        network: SyncNetwork,
     ) -> None:
         self._adversary_elapsed = self._phase()
         self.adversary += self._adversary_elapsed
@@ -213,12 +214,12 @@ class RoundProfiler(RoundObserver):
         round_no: int,
         delivered: Sequence[Message],
         lost: Sequence[Message],
-        network: "SyncNetwork",
+        network: SyncNetwork,
     ) -> None:
         self._delivery_elapsed = self._phase()
         self.delivery += self._delivery_elapsed
 
-    def on_round_end(self, round_no: int, network: "SyncNetwork") -> None:
+    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         self.rounds += 1
         self.overhead += time.perf_counter() - self._last_mark
         if self.per_round:
@@ -231,7 +232,7 @@ class RoundProfiler(RoundObserver):
             )
 
     def on_run_end(
-        self, result: "ExecutionResult", network: "SyncNetwork"
+        self, result: ExecutionResult, network: SyncNetwork
     ) -> None:
         self.wall_time = time.perf_counter() - self._run_started
 

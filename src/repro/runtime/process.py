@@ -22,7 +22,8 @@ that survived the adversary, sorted by sender for determinism.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Generator, Iterable
+from collections.abc import Generator, Iterable
+from typing import Any
 
 from .messages import (
     MESSAGE_OVERHEAD_BITS,

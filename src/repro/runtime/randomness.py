@@ -16,7 +16,8 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Iterable, Sequence, TypeVar
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
 
 T = TypeVar("T")
 

@@ -48,8 +48,10 @@ def check_schema(data: dict[str, Any], payload: str) -> int:
     raises ``ValueError`` with the offending version spelled out.
     """
     version = data.get("schema", data.get("format_version"))
-    if version == SCHEMA_VERSION or version == FORMAT_VERSION:
-        return version
+    if version == SCHEMA_VERSION:
+        return SCHEMA_VERSION
+    if version == FORMAT_VERSION:
+        return FORMAT_VERSION
     raise ValueError(
         f"unsupported {payload} schema version {version!r} "
         f"(this build reads schema {SCHEMA_VERSION} and legacy "

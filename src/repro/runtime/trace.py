@@ -15,7 +15,8 @@ outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from .network import AdversaryAction, NetworkView, SyncNetwork
 from .observers import RoundObserver

@@ -221,7 +221,7 @@ class TestSetupMigration:
             def __init__(self):
                 self.saw = None
 
-            def setup(self, n, t, processes):
+            def setup(self, n, t, processes):  # repro-lint: disable=REP004
                 self.saw = (n, t, len(processes))
 
         legacy = Legacy()

@@ -69,7 +69,7 @@ class TestCoinThrottling:
             coin_pids=coin_pids,
             seed=7,
         ).result
-        for pid, (calls, bits) in enumerate(result.randomness_per_process):
+        for pid, (calls, _bits) in enumerate(result.randomness_per_process):
             if pid not in coin_pids:
                 assert calls == 0
 

@@ -1,0 +1,430 @@
+"""Tests for repro.lint: rules, pragmas, baselines, and the CLI.
+
+Each rule is demonstrated on a planted violation (findings produced /
+nonzero CLI exit) and on clean code (no findings / zero exit); pragma and
+baseline semantics get their own sections.  Fixture sources are linted
+in-memory via :func:`repro.lint.lint_source` with a *relpath* chosen to
+land inside (or outside) each rule's scope.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Finding,
+    lint_paths,
+    lint_source,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# REP001 — unseeded randomness
+class TestRep001:
+    def test_global_random_call_flagged(self):
+        src = "import random\nx = random.randint(0, 5)\n"
+        assert codes(lint_source(src, "src/foo.py")) == ["REP001"]
+
+    def test_from_import_of_global_function_flagged(self):
+        src = "from random import shuffle\n"
+        assert codes(lint_source(src, "src/foo.py")) == ["REP001"]
+
+    def test_unseeded_random_instance_flagged(self):
+        src = "import random\nr = random.Random()\n"
+        assert codes(lint_source(src, "src/foo.py")) == ["REP001"]
+
+    def test_seeded_random_instance_clean(self):
+        src = "import random\nr = random.Random(7)\n"
+        assert lint_source(src, "src/foo.py") == []
+
+    def test_system_random_flagged(self):
+        src = "import random\nr = random.SystemRandom()\n"
+        assert codes(lint_source(src, "src/foo.py")) == ["REP001"]
+
+    def test_randomness_module_exempt(self):
+        src = "import random\nx = random.getrandbits(8)\n"
+        assert lint_source(src, "src/repro/runtime/randomness.py") == []
+
+    def test_method_on_seeded_instance_clean(self):
+        src = "import random\nr = random.Random(1)\ny = r.randint(0, 5)\n"
+        assert lint_source(src, "src/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP002 — wall clock / entropy in replayed code
+class TestRep002:
+    def test_time_time_in_engine_flagged(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(lint_source(src, "src/repro/runtime/x.py")) == ["REP002"]
+
+    def test_perf_counter_allowed(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/runtime/x.py") == []
+
+    def test_uuid_import_in_core_flagged(self):
+        src = "import uuid\n"
+        assert codes(lint_source(src, "src/repro/core/x.py")) == ["REP002"]
+
+    def test_secrets_import_flagged(self):
+        src = "from secrets import token_hex\n"
+        assert codes(lint_source(src, "src/repro/adversary/x.py")) == ["REP002"]
+
+    def test_datetime_now_in_replay_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert codes(lint_source(src, "src/repro/replay/x.py")) == ["REP002"]
+
+    def test_os_urandom_flagged(self):
+        src = "import os\nb = os.urandom(16)\n"
+        assert codes(lint_source(src, "src/repro/harness/x.py")) == ["REP002"]
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_source(src, "src/repro/analysis/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP003 — order-unstable iteration
+class TestRep003:
+    def test_for_over_set_flagged(self):
+        src = "s = {1, 2}\nfor x in s:\n    print(x)\n"
+        assert codes(lint_source(src, "src/repro/core/x.py")) == ["REP003"]
+
+    def test_sorted_wrapper_clean(self):
+        src = "s = {1, 2}\nfor x in sorted(s):\n    print(x)\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_list_of_set_flagged(self):
+        src = "s = set([3])\ny = list(s)\n"
+        assert codes(lint_source(src, "src/repro/runtime/x.py")) == ["REP003"]
+
+    def test_comprehension_over_frozenset_flagged(self):
+        src = "out = [v for v in frozenset((1, 2))]\n"
+        assert codes(lint_source(src, "src/repro/adversary/x.py")) == ["REP003"]
+
+    def test_set_annotation_tracked(self):
+        src = "def f() -> None:\n    s: set[int] = make()\n    for x in s:\n        pass\n"
+        assert codes(lint_source(src, "src/repro/baselines/x.py")) == ["REP003"]
+
+    def test_id_sort_key_flagged(self):
+        src = "xs = [3, 1]\nxs.sort(key=id)\n"
+        assert codes(lint_source(src, "src/repro/core/x.py")) == ["REP003"]
+
+    def test_id_lambda_sort_key_flagged(self):
+        src = "ys = sorted(items, key=lambda v: id(v))\n"
+        assert codes(lint_source(src, "src/repro/core/x.py")) == ["REP003"]
+
+    def test_dict_iteration_not_flagged(self):
+        # CPython dicts iterate in insertion order (3.7+): deterministic.
+        src = "d = {1: 2}\nfor k in d:\n    print(k)\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_set_consumed_by_frozenset_clean(self):
+        src = "s = {1, 2}\nf = frozenset(s)\nm = min(s)\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "s = {1}\nfor x in s:\n    print(x)\n"
+        assert lint_source(src, "src/repro/analysis/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP004 — deprecated APIs
+class TestRep004:
+    def test_on_round_keyword_flagged(self):
+        src = "net = SyncNetwork(procs, on_round=cb)\n"
+        assert codes(lint_source(src, "tests/x.py")) == ["REP004"]
+
+    def test_tuple_unpack_of_run_helper_flagged(self):
+        src = "res, procs = run_ben_or([0, 1])\n"
+        assert codes(lint_source(src, "tests/x.py")) == ["REP004"]
+
+    def test_indexing_run_variable_flagged(self):
+        src = "r = run_consensus(bits)\nval = r[0]\n"
+        assert codes(lint_source(src, "tests/x.py")) == ["REP004"]
+
+    def test_named_attributes_clean(self):
+        src = "r = run_consensus(bits)\nval = r.result\nprocs = r.processes\n"
+        assert lint_source(src, "tests/x.py") == []
+
+    def test_legacy_setup_signature_flagged(self):
+        src = (
+            "class Bad(Adversary):\n"
+            "    def setup(self, n, t, processes):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(src, "src/x.py")) == ["REP004"]
+
+    def test_context_setup_clean(self):
+        src = (
+            "class Good(Adversary):\n"
+            "    def setup(self, ctx):\n"
+            "        self.n = ctx.n\n"
+        )
+        assert lint_source(src, "src/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP005 — adversary purity
+class TestRep005:
+    def test_mutating_view_container_flagged(self):
+        src = (
+            "class Bad(Adversary):\n"
+            "    def act(self, view):\n"
+            "        view.faulty.add(0)\n"
+            "        return None\n"
+        )
+        assert codes(lint_source(src, "src/x.py")) == ["REP005"]
+
+    def test_assigning_through_loop_variable_flagged(self):
+        src = (
+            "class Bad(Adversary):\n"
+            "    def act(self, view):\n"
+            "        for message in view.messages:\n"
+            "            message.payload = 0\n"
+        )
+        assert codes(lint_source(src, "src/x.py")) == ["REP005"]
+
+    def test_pure_adversary_clean(self):
+        src = (
+            "class Good(Adversary):\n"
+            "    def act(self, view):\n"
+            "        pool = sorted(view.alive)\n"
+            "        return AdversaryAction(corrupt=frozenset(), omit=frozenset())\n"
+        )
+        assert lint_source(src, "src/x.py") == []
+
+    def test_ctx_rng_draws_exempt(self):
+        src = (
+            "class Good(Adversary):\n"
+            "    def setup(self, ctx):\n"
+            "        self.order = ctx.rng.sample(range(4), 4)\n"
+        )
+        assert lint_source(src, "src/x.py") == []
+
+    def test_self_mutation_clean(self):
+        src = (
+            "class Good(Adversary):\n"
+            "    def act(self, view):\n"
+            "        self.seen.append(view.round)\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "src/x.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP006 — protocol registration
+class TestRep006:
+    def test_unregistered_protocol_module_flagged(self):
+        src = "def run_myproto(bits):\n    return bits\n"
+        assert codes(lint_source(src, "src/repro/core/myproto.py")) == ["REP006"]
+
+    def test_in_module_registration_clean(self):
+        src = (
+            "from repro.harness.registry import register_protocol\n"
+            "def run_myproto(bits):\n"
+            "    return bits\n"
+            "register_protocol(spec)\n"
+        )
+        assert lint_source(src, "src/repro/core/myproto.py") == []
+
+    def test_module_without_entry_point_clean(self):
+        src = "def helper(x):\n    return x\n"
+        assert lint_source(src, "src/repro/core/util.py") == []
+
+    def test_out_of_scope_module_unflagged(self):
+        src = "def run_myproto(bits):\n    return bits\n"
+        assert lint_source(src, "src/repro/analysis/myproto.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+class TestPragmas:
+    def test_line_pragma_suppresses_named_rule(self):
+        src = "s = {1}\nfor x in s:  # repro-lint: disable=REP003\n    print(x)\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_line_pragma_does_not_suppress_other_rules(self):
+        src = (
+            "import random\n"
+            "x = random.randint(0, 5)  # repro-lint: disable=REP003\n"
+        )
+        assert codes(lint_source(src, "src/foo.py")) == ["REP001"]
+
+    def test_disable_all_pragma(self):
+        src = "s = {1}\nfor x in s:  # repro-lint: disable=all\n    print(x)\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_file_pragma_suppresses_whole_module(self):
+        src = (
+            "# repro-lint: disable-file=REP003\n"
+            "s = {1}\n"
+            "for x in s:\n"
+            "    print(x)\n"
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_multiple_codes_in_one_pragma(self):
+        src = (
+            "import random\n"
+            "x = random.randint(0, 5)  # repro-lint: disable=REP001,REP002\n"
+        )
+        assert lint_source(src, "src/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints & baselines
+class TestBaseline:
+    def make_finding(self, line: int, text: str = "for x in s:") -> Finding:
+        return Finding(
+            path="src/repro/core/x.py",
+            line=line,
+            col=9,
+            code="REP003",
+            message="iterating a set",
+            source_line=text,
+        )
+
+    def test_fingerprint_survives_line_moves(self):
+        assert (
+            self.make_finding(2).fingerprint == self.make_finding(40).fingerprint
+        )
+
+    def test_fingerprint_changes_with_source_line(self):
+        assert (
+            self.make_finding(2).fingerprint
+            != self.make_finding(2, "for y in s:").fingerprint
+        )
+
+    def test_baselined_finding_not_new(self, tmp_path):
+        finding = self.make_finding(2)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding])
+        baseline = Baseline.load(path)
+        new, baselined = baseline.partition([finding])
+        assert new == [] and [f.baselined for f in baselined] == [True]
+
+    def test_duplicate_finding_needs_two_entries(self, tmp_path):
+        # The baseline is a multiset: one entry absolves one occurrence.
+        finding = self.make_finding(2)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [finding])
+        baseline = Baseline.load(path)
+        new, baselined = baseline.partition(
+            [self.make_finding(2), self.make_finding(7)]
+        )
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        new, baselined = baseline.partition([self.make_finding(2)])
+        assert len(new) == 1 and baselined == []
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema": 99, "findings": []}')
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+def plant_tree(tmp_path: Path, source: str) -> Path:
+    module = tmp_path / "src" / "repro" / "core" / "planted.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(source)
+    return module
+
+
+CLEAN = "s = {1, 2}\nfor x in sorted(s):\n    print(x)\n"
+DIRTY = "s = {1, 2}\nfor x in s:\n    print(x)\n"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        plant_tree(tmp_path, CLEAN)
+        exit_code = lint_main([str(tmp_path), "--no-baseline"])
+        assert exit_code == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_planted_violation_exits_nonzero(self, tmp_path, capsys):
+        plant_tree(tmp_path, DIRTY)
+        exit_code = lint_main([str(tmp_path), "--no-baseline"])
+        assert exit_code == 1
+        assert "REP003" in capsys.readouterr().out
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        plant_tree(tmp_path, DIRTY)
+        exit_code = lint_main(
+            [str(tmp_path), "--no-baseline", "--format", "github"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert out.startswith("::error file=") and "title=REP003" in out
+
+    def test_json_format_shape(self, tmp_path, capsys):
+        plant_tree(tmp_path, DIRTY)
+        exit_code = lint_main(
+            [str(tmp_path), "--no-baseline", "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["version"] == 1
+        assert payload["new"] == 1 and payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["code"] == "REP003"
+        assert finding["line"] == 2 and not finding["baselined"]
+        assert isinstance(finding["fingerprint"], str)
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        plant_tree(tmp_path, DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["src", "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Grandfathered finding no longer fails the run...
+        assert lint_main(["src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but a new violation alongside it still does.
+        extra = tmp_path / "src" / "repro" / "core" / "fresh.py"
+        extra.write_text(DIRTY)
+        assert lint_main(["src"]) == 1
+
+    def test_syntax_error_reported_and_fails(self, tmp_path, capsys):
+        plant_tree(tmp_path, "def broken(:\n")
+        exit_code = lint_main([str(tmp_path), "--no-baseline"])
+        assert exit_code == 1
+        assert "REP000" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main([str(tmp_path / "nope"), "--no-baseline"])
+        assert excinfo.value.code == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+
+# ---------------------------------------------------------------------------
+# The repo itself stays clean (the same gate CI enforces).
+def test_repo_sources_have_no_new_findings():
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro"], root=REPO_ROOT, baseline=baseline
+    )
+    assert report.new == [], [
+        f"{f.path}:{f.line} {f.code} {f.message}" for f in report.new
+    ]

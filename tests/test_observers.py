@@ -123,7 +123,7 @@ def test_legacy_on_round_callback_still_fires_and_warns():
     with pytest.warns(DeprecationWarning):
         network = SyncNetwork(
             [PingPong(pid, 2) for pid in range(2)],
-            on_round=lambda round_no, net: seen.append(round_no),
+            on_round=lambda round_no, net: seen.append(round_no),  # repro-lint: disable=REP004
         )
     result = network.run()
     assert seen == list(range(result.metrics.rounds))
@@ -145,7 +145,7 @@ def test_legacy_on_round_adapter_stays_last():
     with pytest.warns(DeprecationWarning):
         network = SyncNetwork(
             [PingPong(pid, 2) for pid in range(2)],
-            on_round=lambda round_no, net: order.append("legacy"),
+            on_round=lambda round_no, net: order.append("legacy"),  # repro-lint: disable=REP004
             observers=[Tail("constructor")],
         )
     network.add_observer(Tail("added"))
