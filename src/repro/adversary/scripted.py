@@ -29,7 +29,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import Any
 
-from ..runtime import Adversary, AdversaryAction, NetworkView
+from ..runtime import Adversary, AdversaryAction, NetworkView, canonical_omissions
 
 #: One scripted entry: ``(round, corrupt pids, omit indices)`` — or any
 #: object with ``round`` / ``corrupt`` / ``omit`` attributes (e.g. the
@@ -37,12 +37,15 @@ from ..runtime import Adversary, AdversaryAction, NetworkView
 ScriptEntry = Any
 
 
-def _normalize(entry: ScriptEntry) -> tuple[int, frozenset[int], frozenset[int]]:
+def _normalize(entry: ScriptEntry) -> tuple[int, frozenset[int], tuple[int, ...]]:
     if isinstance(entry, (tuple, list)):
         round_no, corrupt, omit = entry
     else:
         round_no, corrupt, omit = entry.round, entry.corrupt, entry.omit
-    return int(round_no), frozenset(corrupt), frozenset(omit)
+    # Omissions go through the engine's shared canonical form, so a script
+    # carrying duplicate flat indices replays the schedule the original
+    # run actually applied (and was metered/recorded as).
+    return int(round_no), frozenset(corrupt), canonical_omissions(omit)
 
 
 class ScriptedAdversary(Adversary):
@@ -51,7 +54,7 @@ class ScriptedAdversary(Adversary):
     def __init__(
         self, entries: Iterable[ScriptEntry] = (), strict: bool = True
     ) -> None:
-        self._by_round: dict[int, tuple[frozenset[int], frozenset[int]]] = {}
+        self._by_round: dict[int, tuple[frozenset[int], tuple[int, ...]]] = {}
         for entry in entries:
             round_no, corrupt, omit = _normalize(entry)
             if round_no in self._by_round:
@@ -71,7 +74,7 @@ class ScriptedAdversary(Adversary):
         corrupt, omit = entry
         corrupt = corrupt - view.faulty
         if self.strict:
-            return AdversaryAction(corrupt=corrupt, omit=omit)
+            return AdversaryAction(corrupt=corrupt, omit=frozenset(omit))
         if len(corrupt) > view.budget_left:
             corrupt = frozenset(sorted(corrupt)[: view.budget_left])
         faulty_after = view.faulty | corrupt

@@ -20,6 +20,7 @@ from .campaign import (
     load_campaign,
     load_journal,
     record_cell_key,
+    repair_journal,
     run_campaign,
     save_campaign,
     summarize_campaign,
@@ -65,6 +66,7 @@ __all__ = [
     "load_campaign",
     "load_journal",
     "record_cell_key",
+    "repair_journal",
     "run_campaign",
     "save_campaign",
     "summarize_campaign",

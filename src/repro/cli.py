@@ -260,9 +260,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     multicast = (
         None if args.multicast is None else args.multicast == "on"
     )
+    columnar = (
+        None if args.columnar is None else args.columnar == "on"
+    )
     strict = False if args.lenient else None
     try:
-        report = replay(recipe, strict=strict, multicast=multicast)
+        report = replay(
+            recipe, strict=strict, multicast=multicast, columnar=columnar
+        )
     except ValueError as exc:
         # e.g. the recipe names a protocol this process has not
         # registered (test-only plants live in their test modules).
@@ -413,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument(
         "--multicast", choices=("on", "off"), default=None,
         help="override the recorded engine send path",
+    )
+    replay_parser.add_argument(
+        "--columnar", choices=("on", "off"), default=None,
+        help="override the recorded delivery engine (on = vectorized "
+        "numpy path, off = object path)",
     )
     replay_parser.add_argument(
         "--lenient", action="store_true",

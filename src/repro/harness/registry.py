@@ -162,6 +162,7 @@ def execute(
     observers: Sequence[RoundObserver] = (),
     options: Mapping[str, Any] | None = None,
     multicast: bool = True,
+    columnar: bool | None = None,
     **extra_options: Any,
 ) -> ConsensusRun:
     """Run one protocol end-to-end through the unified harness.
@@ -174,8 +175,10 @@ def execute(
     ``sender=0`` for TRB).  ``observers`` are attached to the underlying
     :class:`SyncNetwork`, so traces and profiles can be captured on any
     protocol without touching its wrapper.  ``multicast=False`` selects the
-    engine's legacy per-copy send path (metrics are identical either way;
-    replay verification exercises both).
+    engine's legacy per-copy send path, ``columnar=False`` the legacy
+    object-per-copy delivery loop (``None`` auto-selects the vectorized
+    path when numpy is available; metrics are identical on every path and
+    replay verification exercises all of them).
 
     Returns a :class:`repro.core.consensus.ConsensusRun`.
     """
@@ -214,6 +217,7 @@ def execute(
         ),
         observers=observers,
         multicast=multicast,
+        columnar=columnar,
     )
     result = network.run()
     return ConsensusRun(

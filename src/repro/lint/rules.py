@@ -66,7 +66,12 @@ def _ensure_builtin_rules() -> None:
     if _BUILTINS_LOADED:
         return
     _BUILTINS_LOADED = True
-    from . import rules_api, rules_determinism, rules_model  # noqa: F401
+    from . import (  # noqa: F401
+        rules_api,
+        rules_determinism,
+        rules_model,
+        rules_perf,
+    )
 
 
 def all_rules() -> list[Rule]:

@@ -8,9 +8,11 @@ round and a human-readable detail — the moment a check fails:
 
 * **budget** — the cumulative corrupted set never exceeds ``t``
   (a second line of defence behind the engine's own validation);
-* **conservation** — metering balances every round: messages sent equal
-  delivered + omitted + lost, and delivered/lost bits never exceed sent
-  bits (omitted *bits* are not metered separately, so bits get an
+* **conservation** — metering balances *per round*: the messages sent in
+  each round equal that round's delivered + omitted + lost (the metering
+  identity pinned in :mod:`repro.runtime.metrics`, with omission taking
+  precedence over loss), and cumulative delivered/lost bits never exceed
+  sent bits (omitted *bits* are not metered separately, so bits get an
   inequality where messages get an identity);
 * **agreement** — non-faulty decided processes never hold two different
   decision values, checked as decisions appear, not just at the end;
@@ -84,6 +86,11 @@ class InvariantObserver(RoundObserver):
 
     def __init__(self, inputs: Sequence[int] | None = None) -> None:
         self.inputs = tuple(inputs) if inputs is not None else None
+        # Cumulative metering totals at the end of the previous round, so
+        # the conservation identity is checked on per-round deltas — a
+        # round that under- or over-counts cannot hide behind an earlier
+        # compensating error.
+        self._seen_totals = (0, 0, 0, 0)
 
     # ------------------------------------------------------------------
     def _check_agreement(
@@ -133,18 +140,36 @@ class InvariantObserver(RoundObserver):
                 f"{network.t}",
             )
 
+    def on_run_start(self, network: SyncNetwork) -> None:
+        metrics = network.metrics
+        self._seen_totals = (
+            metrics.messages_sent,
+            metrics.messages_delivered,
+            metrics.messages_omitted,
+            metrics.messages_lost,
+        )
+
     def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         metrics = network.metrics
-        balance = (
-            metrics.messages_delivered
-            + metrics.messages_omitted
-            + metrics.messages_lost
+        seen_sent, seen_delivered, seen_omitted, seen_lost = self._seen_totals
+        self._seen_totals = (
+            metrics.messages_sent,
+            metrics.messages_delivered,
+            metrics.messages_omitted,
+            metrics.messages_lost,
         )
-        if balance != metrics.messages_sent:
+        round_sent = metrics.messages_sent - seen_sent
+        round_balance = (
+            (metrics.messages_delivered - seen_delivered)
+            + (metrics.messages_omitted - seen_omitted)
+            + (metrics.messages_lost - seen_lost)
+        )
+        if round_balance != round_sent:
             raise InvariantViolation(
                 "conservation", round_no,
-                f"messages_sent={metrics.messages_sent} != delivered+"
-                f"omitted+lost={balance}",
+                f"round sent={round_sent} != round delivered+omitted+lost="
+                f"{round_balance} (cumulative sent="
+                f"{metrics.messages_sent})",
             )
         if metrics.bits_delivered + metrics.bits_lost > metrics.bits_sent:
             raise InvariantViolation(

@@ -26,6 +26,7 @@ from collections.abc import Mapping, Sequence
 from typing import Any
 
 from ..params import ProtocolParams
+from ..runtime.network import canonical_omissions
 from ..runtime.serialization import SCHEMA_VERSION, check_schema
 
 
@@ -35,8 +36,10 @@ class RecordedAction:
 
     ``corrupt`` holds only the pids *newly* corrupted this round (the
     cumulative faulty set is implied by the prefix); ``omit`` holds the
-    flat message indices omitted — the same indexing both engine send
-    paths use, which is what makes recorded schedules path-independent.
+    flat message indices omitted, in the canonical sorted/de-duplicated
+    form of :func:`repro.runtime.canonical_omissions` — the same indexing
+    every engine path (multicast × columnar) uses, which is what makes
+    recorded schedules path-independent.
     """
 
     round: int
@@ -68,6 +71,11 @@ class ExecutionRecipe:
     params: ProtocolParams = field(default_factory=ProtocolParams.practical)
     options: Mapping[str, Any] = field(default_factory=dict)
     multicast: bool = True
+    #: Engine delivery path of the recorded run: True/False pin the
+    #: columnar/object loop on replay; None (the default, and the value
+    #: implied by pre-columnar recipes) lets the engine auto-select.
+    #: Fingerprints are path-independent, so any setting must verify.
+    columnar: bool | None = None
     max_rounds: int | None = None
     actions: tuple[RecordedAction, ...] = ()
     expected: Mapping[str, Any] | None = None
@@ -110,12 +118,13 @@ def recipe_payload(recipe: ExecutionRecipe) -> dict[str, Any]:
         "params": dataclasses.asdict(recipe.params),
         "options": dict(recipe.options),
         "multicast": recipe.multicast,
+        "columnar": recipe.columnar,
         "max_rounds": recipe.max_rounds,
         "actions": [
             {
                 "round": action.round,
                 "corrupt": sorted(action.corrupt),
-                "omit": sorted(action.omit),
+                "omit": list(canonical_omissions(action.omit)),
             }
             for action in recipe.actions
         ],
@@ -154,12 +163,16 @@ def recipe_from_payload(data: Mapping[str, Any]) -> ExecutionRecipe:
         params=ProtocolParams(**data["params"]),
         options=dict(data.get("options") or {}),
         multicast=data.get("multicast", True),
+        columnar=data.get("columnar"),
         max_rounds=data.get("max_rounds"),
         actions=tuple(
             RecordedAction(
                 round=entry["round"],
                 corrupt=tuple(entry.get("corrupt", ())),
-                omit=tuple(entry.get("omit", ())),
+                # Recipes written before canonicalization may carry
+                # duplicate indices; normalize on read so strict replay
+                # sees the schedule the engine actually applied.
+                omit=canonical_omissions(entry.get("omit", ())),
             )
             for entry in data.get("actions", ())
         ),

@@ -37,6 +37,7 @@ from ..runtime import (
     AdversaryProtocolError,
     LockstepError,
     RoundObserver,
+    canonical_omissions,
     result_to_dict,
 )
 from .invariants import InvariantObserver, InvariantViolation
@@ -71,13 +72,15 @@ class RecipeRecorder(RoundObserver):
         network: SyncNetwork,
     ) -> None:
         newly = sorted(frozenset(action.corrupt) - view.faulty)
-        omit = sorted(action.omit)
+        # The engine dispatches canonical actions; normalize again anyway
+        # so hand-driven dispatch records the same schedule it would apply.
+        omit = canonical_omissions(action.omit)
         if newly or omit:
             self.actions.append(
                 RecordedAction(
                     round=round_no,
                     corrupt=tuple(newly),
-                    omit=tuple(omit),
+                    omit=omit,
                 )
             )
 
@@ -125,6 +128,7 @@ def record(
     observers: Sequence[RoundObserver] = (),
     options: Mapping[str, Any] | None = None,
     multicast: bool = True,
+    columnar: bool | None = None,
     invariants: bool = True,
     note: str = "",
     **extra_options: Any,
@@ -165,6 +169,7 @@ def record(
             observers=attached,
             options=merged,
             multicast=multicast,
+            columnar=columnar,
         )
     except RECORDABLE_FAILURES as exc:
         failure = exc
@@ -179,6 +184,7 @@ def record(
         params=resolved_params,
         options=merged,
         multicast=multicast,
+        columnar=columnar,
         max_rounds=max_rounds,
         actions=tuple(recorder.actions),
         expected=(
@@ -269,6 +275,7 @@ def replay(
     *,
     strict: bool | None = None,
     multicast: bool | None = None,
+    columnar: bool | None = None,
     invariants: bool = True,
     observers: Sequence[RoundObserver] = (),
 ) -> ReplayReport:
@@ -278,7 +285,8 @@ def replay(
     strict for passing recipes (the schedule must be legal verbatim) and
     lenient for failing ones (shrunk schedules may carry omissions whose
     sender was un-corrupted by the shrinker).  ``multicast`` overrides the
-    recipe's recorded send path — metrics must match either way.
+    recipe's recorded send path and ``columnar`` its recorded delivery
+    path — metrics must match on every combination.
     """
     if strict is None:
         strict = not recipe.failing
@@ -304,6 +312,9 @@ def replay(
             options=dict(recipe.options),
             multicast=(
                 multicast if multicast is not None else recipe.multicast
+            ),
+            columnar=(
+                columnar if columnar is not None else recipe.columnar
             ),
         )
     except RECORDABLE_FAILURES as exc:

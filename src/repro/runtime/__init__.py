@@ -13,9 +13,18 @@ Public surface:
   adaptive full-information adversary hook;
 * :class:`RoundObserver`, :class:`RoundProfiler`, :class:`TraceRecorder` —
   the engine-driven observer bus and its built-in observers;
-* :class:`Metrics` — rounds / communication bits / randomness accounting.
+* :class:`Metrics` — rounds / communication bits / randomness accounting;
+* :class:`ColumnarBatch`, :class:`LazyMessageList`, :data:`HAVE_NUMPY` —
+  the numpy-vectorized round layout behind ``SyncNetwork(columnar=True)``;
+* :func:`canonical_omissions` — the shared sorted/de-duplicated normal form
+  of an omission schedule.
 """
 
+from .columnar import (
+    HAVE_NUMPY,
+    ColumnarBatch,
+    LazyMessageList,
+)
 from .messages import (
     MESSAGE_OVERHEAD_BITS,
     Message,
@@ -40,6 +49,7 @@ from .network import (
     LockstepError,
     NetworkView,
     SyncNetwork,
+    canonical_omissions,
     setup_adversary,
 )
 from .process import (
@@ -72,12 +82,16 @@ from .randomness import (
 )
 
 __all__ = [
+    "HAVE_NUMPY",
+    "ColumnarBatch",
+    "LazyMessageList",
     "MESSAGE_OVERHEAD_BITS",
     "Message",
     "MessageBatch",
     "MessageRecord",
     "Multicast",
     "payload_bits",
+    "canonical_omissions",
     "Metrics",
     "Adversary",
     "AdversaryAction",

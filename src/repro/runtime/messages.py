@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections.abc import Iterable, Iterator, Sequence
-from typing import Any, overload
+from typing import TYPE_CHECKING, Any, overload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from .columnar import ColumnarBatch, FanoutCache
 
 #: Flat per-message overhead charged on top of the payload, covering the
 #: sender id and message framing.  One machine word keeps small control
@@ -189,7 +192,7 @@ class MessageBatch(Sequence[Message]):
     builders) answer from the records without materializing anything.
     """
 
-    __slots__ = ("records", "offsets", "_total", "_sender_sorted")
+    __slots__ = ("records", "offsets", "_total", "_sender_sorted", "_columns")
 
     def __init__(self, records: Iterable[MessageRecord] = ()) -> None:
         records = records if type(records) is list else list(records)
@@ -211,6 +214,7 @@ class MessageBatch(Sequence[Message]):
         self.offsets = offsets
         self._total = total
         self._sender_sorted = sender_sorted
+        self._columns: ColumnarBatch | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -262,6 +266,24 @@ class MessageBatch(Sequence[Message]):
                 yield record
 
     # ------------------------------------------------------------------
+    def columns(
+        self, fanout_cache: FanoutCache | None = None
+    ) -> ColumnarBatch:
+        """The batch as a :class:`~repro.runtime.columnar.ColumnarBatch`.
+
+        Built on first call and cached for the batch's lifetime (a batch is
+        immutable once constructed), so the adversary-validation and
+        delivery passes of one round share a single vectorization.
+        Requires numpy (:data:`repro.runtime.columnar.HAVE_NUMPY`).
+        """
+        cols = self._columns
+        if cols is None:
+            from .columnar import ColumnarBatch
+
+            cols = ColumnarBatch.from_records(self.records, fanout_cache)
+            self._columns = cols
+        return cols
+
     def endpoints_at(self, index: int) -> tuple[int, int]:
         """``(sender, recipient)`` of flat copy ``index`` — no
         materialization, used by the engine's omission legality check."""

@@ -5,6 +5,23 @@ last non-faulty process terminates), the *number of communication bits*, and
 the *randomness* (random bits / random-source calls).  :class:`Metrics`
 accumulates exactly those, plus message counts and per-round series useful for
 the benchmark figures.
+
+**Metering identity and precedence.**  Every sent copy is accounted exactly
+once per round::
+
+    messages_sent == messages_delivered + messages_omitted + messages_lost
+
+with *omitted taking precedence over lost*: a copy the adversary omits is
+counted from the canonical omission schedule and never reaches the
+recipient-liveness check, so a copy that is **both** omitted and addressed
+to an already-terminated recipient is omitted, not lost.  This is the
+single place that rule is pinned; both engine delivery paths
+(:meth:`SyncNetwork._deliver` object loop and the columnar
+:func:`repro.runtime.columnar.plan_delivery`) implement it, and
+:class:`repro.replay.invariants.InvariantObserver` asserts the per-round
+identity on every run it observes.  Bits follow the same precedence, but
+omitted *bits* are not metered separately, so only the inequality
+``bits_delivered + bits_lost <= bits_sent`` is checkable.
 """
 
 from __future__ import annotations

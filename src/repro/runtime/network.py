@@ -40,8 +40,14 @@ import random
 import warnings
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Mapping, Sequence
-from typing import Any
+from typing import Any, cast
 
+from .columnar import (
+    HAVE_NUMPY,
+    FanoutCache,
+    first_illegal_omission,
+    plan_delivery,
+)
 from .messages import Message, MessageBatch, Multicast
 from .metrics import Metrics
 from .observers import CallbackObserver, MetricsObserver, RoundObserver
@@ -51,6 +57,21 @@ from .randomness import CountingRandom, derive_seeds, stable_seed
 
 class AdversaryProtocolError(RuntimeError):
     """Raised when an adversary strategy violates the model's rules."""
+
+
+def canonical_omissions(indices: Iterable[int]) -> tuple[int, ...]:
+    """Canonical form of a round's omit indices: sorted and de-duplicated.
+
+    The single choke point for omission-schedule normalization: the engine
+    canonicalizes every :class:`AdversaryAction` before validating,
+    metering, or dispatching it to observers; the replay recorder, the
+    recipe serializer, and :class:`~repro.adversary.ScriptedAdversary`
+    normalize through the same function.  An adversary that emits the same
+    flat index twice (easy to do when building ``omit`` from overlapping
+    per-target index sets) therefore omits one copy, is metered for one
+    copy, and records/replays as one copy on every engine path.
+    """
+    return tuple(sorted(set(indices)))
 
 
 class LockstepError(RuntimeError):
@@ -331,6 +352,7 @@ class SyncNetwork:
         reseed_at: tuple[int, int] | None = None,
         observers: Sequence[RoundObserver] = (),
         multicast: bool = True,
+        columnar: bool | None = None,
     ) -> None:
         if not processes:
             raise ValueError("need at least one process")
@@ -399,10 +421,29 @@ class SyncNetwork:
         if not multicast:
             for env in self.envs:
                 env.expand_multicast = True
+        #: Whether the communication phase runs vectorized over the
+        #: columnar (numpy) batch layout — omissions as an index mask,
+        #: terminated-recipient filtering as an index select, inboxes as a
+        #: grouped scatter of lazy :class:`Message` views.  Defaults to
+        #: numpy availability; ``columnar=False`` keeps the legacy
+        #: object-per-copy delivery loop (byte-identical outcomes, kept
+        #: for differential testing, exactly like ``multicast=False``).
+        if columnar is None:
+            columnar = HAVE_NUMPY
+        elif columnar and not HAVE_NUMPY:
+            raise ValueError(
+                "SyncNetwork(columnar=True) requires numpy, which is not "
+                "installed; use columnar=False or columnar=None (auto)"
+            )
+        self.columnar = columnar
+        # Fan-out tuples already converted to index arrays, shared across
+        # rounds (ProcessEnv.broadcast caches its fan-out tuple per
+        # process, so the same tuple objects recur every round).
+        self._fanout_cache: FanoutCache = {}
         self._programs: list[Program | None] = [
             process.program(self.envs[process.pid]) for process in self.processes
         ]
-        self._inboxes: list[list[Message]] = [[] for _ in range(n)]
+        self._inboxes: list[Sequence[Message]] = [[] for _ in range(n)]
 
     # ------------------------------------------------------------------
     def add_observer(self, observer: RoundObserver) -> SyncNetwork:
@@ -464,11 +505,16 @@ class SyncNetwork:
             records.extend(env.outbox)
         return MessageBatch(records)
 
-    def _apply_adversary(self, batch: MessageBatch) -> set[int]:
+    def _apply_adversary(self, batch: MessageBatch) -> tuple[int, ...]:
         """Communication phase: let the adversary corrupt and omit.
 
-        Returns the validated set of omitted flat message indices;
-        :meth:`_deliver` skips them without rebuilding the batch.
+        Returns the validated, canonical (sorted, de-duplicated) omitted
+        flat message indices; :meth:`_deliver` skips them without
+        rebuilding the batch.  Observers — including the metrics
+        accounting and the replay recorder — are dispatched a
+        canonicalized :class:`AdversaryAction`, so duplicate indices in a
+        strategy's raw action are coalesced before anything downstream
+        counts or serializes them (see :func:`canonical_omissions`).
         """
         view = NetworkView(
             round_no=self.round,
@@ -492,30 +538,52 @@ class SyncNetwork:
                 raise AdversaryProtocolError(f"cannot corrupt unknown pid {pid}")
         self.faulty |= new_corruptions
 
-        omit = set(action.omit)
+        omit = canonical_omissions(action.omit)
         if omit:
             total = len(batch)
             faulty = self.faulty
-            # Sorted so an illegal schedule always names the *same* offending
-            # index, whatever set-iteration order the interpreter picks.
-            for index in sorted(omit):
-                if not 0 <= index < total:
-                    raise AdversaryProtocolError(
-                        f"omit index {index} out of range "
-                        f"({total} messages this round)"
-                    )
-                sender, recipient = batch.endpoints_at(index)
-                if sender not in faulty and recipient not in faulty:
+            if self.columnar and total:
+                offender = first_illegal_omission(
+                    batch.columns(self._fanout_cache),
+                    omit,
+                    frozenset(faulty),
+                )
+                if offender is not None:
+                    kind, index, sender, recipient = offender
+                    if kind == "range":
+                        raise AdversaryProtocolError(
+                            f"omit index {index} out of range "
+                            f"({total} messages this round)"
+                        )
                     raise AdversaryProtocolError(
                         "omissions are only allowed on messages to/from "
                         f"faulty processes; message {sender}->{recipient} "
                         "touches none"
                     )
+            else:
+                # Canonical order means an illegal schedule always names
+                # the *same* offending index as the vectorized check.
+                for index in omit:
+                    if not 0 <= index < total:
+                        raise AdversaryProtocolError(
+                            f"omit index {index} out of range "
+                            f"({total} messages this round)"
+                        )
+                    sender, recipient = batch.endpoints_at(index)
+                    if sender not in faulty and recipient not in faulty:
+                        raise AdversaryProtocolError(
+                            "omissions are only allowed on messages to/from "
+                            f"faulty processes; message {sender}->{recipient} "
+                            "touches none"
+                        )
+        canonical = AdversaryAction(
+            corrupt=frozenset(action.corrupt), omit=frozenset(omit)
+        )
         for observer in self._observers:
-            observer.on_adversary_action(self.round, view, action, self)
+            observer.on_adversary_action(self.round, view, canonical, self)
         return omit
 
-    def _deliver(self, batch: MessageBatch, omitted: set[int]) -> None:
+    def _deliver(self, batch: MessageBatch, omitted: Sequence[int]) -> None:
         """Place surviving copies into inboxes, in sender-sorted order.
 
         Engine-built batches are already in ascending-sender order (the
@@ -523,14 +591,29 @@ class SyncNetwork:
         legacy per-round sender bucketing reduces to a straight scan; a
         stable record sort restores the invariant for hand-built outboxes.
         Multicast records materialize one :class:`Message` view per
-        surviving copy here — the only place the fan-out is expanded.
+        surviving copy here — the only place the fan-out is expanded on
+        the object path.
+
+        Metering precedence is the engine-wide rule pinned in
+        :mod:`repro.runtime.metrics`: the omission check runs *before* the
+        recipient-liveness check, so a copy that is both adversary-omitted
+        and addressed to a terminated recipient counts as omitted, never
+        as lost — ``sent = delivered + omitted + lost`` holds exactly,
+        every round, on every engine path.
         """
+        if self.columnar and batch.sender_sorted:
+            self._deliver_columnar(batch, omitted)
+            return
+        omitted_set = set(omitted)
         delivered: list[Message] = []
         lost: list[Message] = []
         delivered_bits = 0
         lost_bits = 0
         programs = self._programs
-        inboxes = self._inboxes
+        # On the object path every inbox slot holds a plain list (reset by
+        # _advance_processes); the Sequence-typed slot only widens for the
+        # columnar path's lazy views.
+        inboxes = cast("list[list[Message]]", self._inboxes)
         delivered_append = delivered.append
         make_message = Message
 
@@ -543,7 +626,7 @@ class SyncNetwork:
             )
         # Fast path: nothing omitted and every recipient still live — the
         # overwhelmingly common round shape.
-        clean = not omitted and self.live_count == self.n
+        clean = not omitted_set and self.live_count == self.n
 
         for record, base in pairs:
             if type(record) is Multicast:
@@ -562,7 +645,9 @@ class SyncNetwork:
                     delivered_bits += bits * len(recipients)
                     continue
                 for position, recipient in enumerate(recipients):
-                    if base + position in omitted:
+                    if base + position in omitted_set:
+                        # Omitted wins over lost: skipped before the
+                        # liveness check (see repro.runtime.metrics).
                         continue
                     message = make_message(sender, recipient, payload, bits)
                     if programs[recipient] is None:
@@ -576,7 +661,7 @@ class SyncNetwork:
                         delivered_bits += bits
             else:
                 if not clean:
-                    if base in omitted:
+                    if base in omitted_set:
                         continue
                     if programs[record.recipient] is None:
                         lost.append(record)
@@ -592,6 +677,39 @@ class SyncNetwork:
         self._lost_bits = lost_bits
         for observer in self._observers:
             observer.on_deliveries(self.round, delivered, lost, self)
+
+    def _deliver_columnar(
+        self, batch: MessageBatch, omitted: Sequence[int]
+    ) -> None:
+        """Vectorized communication phase over the columnar batch layout.
+
+        One :func:`repro.runtime.columnar.plan_delivery` call replaces the
+        per-copy Python loop: inboxes become lazy
+        :class:`~repro.runtime.columnar.LazyMessageList` views that
+        materialize :class:`Message` objects only when a program or
+        observer actually reads them.  Flat-index order, metering
+        precedence (omitted wins over lost — see
+        :mod:`repro.runtime.metrics`), and every observer-visible sequence
+        are identical to the object path.
+        """
+        plan = plan_delivery(
+            batch.columns(self._fanout_cache),
+            omitted,
+            (
+                None
+                if self.live_count == self.n
+                else [program is not None for program in self._programs]
+            ),
+        )
+        inboxes = self._inboxes
+        for recipient, view in plan.inboxes:
+            inboxes[recipient] = view
+        self._delivered_bits = plan.delivered_bits
+        self._lost_bits = plan.lost_bits
+        for observer in self._observers:
+            observer.on_deliveries(
+                self.round, plan.delivered, plan.lost, self
+            )
 
     def current_decisions(self) -> dict[int, Any]:
         return {

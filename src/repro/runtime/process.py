@@ -15,14 +15,16 @@ Typical structure::
             env.decide(value)
             # returning ends participation (the process terminates)
 
-The inbox delivered at each ``yield`` is the list of :class:`Message` objects
-that survived the adversary, sorted by sender for determinism.
+The inbox delivered at each ``yield`` is the sequence of :class:`Message`
+objects that survived the adversary, sorted by sender for determinism.  On
+the columnar engine it is a lazy view that materializes per-copy messages
+on first read; treat it as an immutable ``Sequence[Message]``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Generator, Iterable
+from collections.abc import Generator, Iterable, Sequence
 from typing import Any
 
 from .messages import (
@@ -35,9 +37,10 @@ from .messages import (
 from .randomness import CountingRandom
 
 #: Type of a protocol program: yields None (round boundary), receives the
-#: next round's inbox, returns when the process terminates.  Sub-protocols
-#: used via ``yield from`` may return a value to their caller.
-Program = Generator[None, list[Message], Any]
+#: next round's inbox (a sender-sorted, read-only ``Sequence[Message]``),
+#: returns when the process terminates.  Sub-protocols used via
+#: ``yield from`` may return a value to their caller.
+Program = Generator[None, Sequence[Message], Any]
 
 
 class ProcessEnv:
@@ -115,6 +118,18 @@ class ProcessEnv:
                 )
         if not recipients:
             return
+        self._queue_multicast(recipients, payload)
+
+    def _queue_multicast(
+        self, recipients: tuple[int, ...], payload: Any
+    ) -> None:
+        """Queue a validated, non-empty fan-out tuple.
+
+        Callers guarantee every recipient is in range — :meth:`send_many`
+        validates arbitrary input, :meth:`broadcast` reuses its cached
+        (already validated) fan-out — so a per-round broadcast costs one
+        ``payload_bits`` call and one append, no O(n) re-checking.
+        """
         if self.expand_multicast:
             # Legacy per-message path: one eagerly-sized Message per copy,
             # exactly as an explicit loop of :meth:`send` would queue.
@@ -142,14 +157,16 @@ class ProcessEnv:
         if recipients is None:
             cache = self._fanout_cache
             if cache is None:
-                others = tuple(
-                    recipient
-                    for recipient in range(self.n)
-                    if recipient != self.pid
-                )
-                cache = (others, tuple(range(self.n)))
+                everyone = tuple(range(self.n))
+                others = everyone[: self.pid] + everyone[self.pid + 1 :]
+                cache = (others, everyone)
                 self._fanout_cache = cache
-            recipients = cache[1] if include_self else cache[0]
+            # The cached tuples were validated when built; skip straight
+            # past send_many's per-recipient range loop.
+            fanout = cache[1] if include_self else cache[0]
+            if fanout:
+                self._queue_multicast(fanout, payload)
+            return
         self.send_many(recipients, payload)
 
     def decide(self, value: Any) -> None:

@@ -10,6 +10,7 @@ from repro.analysis.campaign import (
     load_campaign,
     load_journal,
     record_cell_key,
+    repair_journal,
     run_campaign,
     save_campaign,
     summarize_campaign,
@@ -183,6 +184,102 @@ class TestJournal:
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"campaign": "c", "se')  # crash mid-append
         assert load_journal(path) == [{"campaign": "c", "seed": 0}]
+
+    RECORDS = [
+        {"campaign": "c", "seed": 0},
+        {"campaign": "αβγ", "seed": 1},  # multi-byte UTF-8 in the middle
+        {"campaign": "c", "seed": 2},
+    ]
+
+    def full_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        for record in self.RECORDS:
+            append_journal_record(path, record)
+        return path
+
+    def test_load_survives_truncation_at_every_byte_offset(self, tmp_path):
+        """A crash can cut the final ``write`` anywhere — including inside
+        a multi-byte UTF-8 character.  Whatever the offset, ``load_journal``
+        must return exactly the records whose lines survived intact."""
+        source = self.full_journal(tmp_path)
+        data = source.read_bytes()
+        boundaries = [0]
+        for index, byte in enumerate(data):
+            if byte == ord("\n"):
+                boundaries.append(index + 1)
+        victim = tmp_path / "truncated.jsonl"
+        for offset in range(len(data) + 1):
+            victim.write_bytes(data[:offset])
+            intact = sum(1 for b in boundaries if b <= offset) - 1
+            loaded = load_journal(victim)
+            # Always a clean prefix: the terminated lines, plus the tail
+            # line iff the cut landed exactly at the end of its JSON.
+            assert loaded == self.RECORDS[: len(loaded)], (
+                f"truncation at byte {offset}"
+            )
+            assert intact <= len(loaded) <= intact + 1, (
+                f"truncation at byte {offset}"
+            )
+
+    def test_repair_quarantines_corrupt_tail(self, tmp_path):
+        path = self.full_journal(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])  # cut inside the final record
+        tail = repair_journal(path)
+        assert tail  # the severed bytes are reported back
+        # The journal itself is clean again...
+        assert path.read_bytes() == data[: data.rfind(b"\n", 0, -1) + 1]
+        assert load_journal(path) == self.RECORDS[:2]
+        # ...and no bytes were destroyed: the tail sits in the sidecar.
+        quarantine = path.with_name(path.name + ".quarantine")
+        assert quarantine.read_bytes() == tail + b"\n"
+
+    def test_append_after_crash_does_not_merge_records(self, tmp_path):
+        path = self.full_journal(tmp_path)
+        path.write_bytes(path.read_bytes()[:-9])
+        fresh = {"campaign": "c", "seed": 3}
+        append_journal_record(path, fresh)
+        # The torn tail was quarantined first, so the new record landed on
+        # its own line instead of gluing onto the partial one.
+        assert load_journal(path) == self.RECORDS[:2] + [fresh]
+        assert path.with_name(path.name + ".quarantine").exists()
+
+    def test_repair_restores_missing_newline_on_intact_tail(self, tmp_path):
+        """A crash *between* the record write and its newline leaves a
+        valid JSON line with no terminator: repair must restore the
+        newline, not quarantine a perfectly good record."""
+        path = self.full_journal(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-1])  # strip only the final newline
+        assert repair_journal(path) == b""
+        assert path.read_bytes() == data
+        assert load_journal(path) == self.RECORDS
+        assert not path.with_name(path.name + ".quarantine").exists()
+
+    def test_repair_on_clean_journal_is_a_no_op(self, tmp_path):
+        path = self.full_journal(tmp_path)
+        before = path.read_bytes()
+        assert repair_journal(path) == b""
+        assert path.read_bytes() == before
+
+    def test_resume_after_torn_append(self, tmp_path):
+        """End-to-end: a campaign whose journal was torn mid-record still
+        resumes, re-running only the severed cell."""
+        spec = small_spec()  # 4 cells
+        path = tmp_path / "journal.jsonl"
+        run_campaign(spec, journal=path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # sever the final record
+        on_disk = load_journal(path)
+        assert len(on_disk) == 3
+        finished = []
+        resumed = run_campaign(
+            spec, resume_from=on_disk, journal=path,
+            on_record=finished.append,
+        )
+        assert len(finished) == 1
+        assert len(resumed) == 4
+        assert len(load_journal(path)) == 4
 
 
 class TestPersistence:

@@ -1,0 +1,554 @@
+"""The columnar (numpy) engine path: layout, laziness, golden equivalence.
+
+The contract mirrors PR 4's multicast one, one axis over: ``SyncNetwork``
+now has a 2x2 engine grid — send path (``multicast=True``/``False``) x
+delivery path (``columnar=True``/``False``) — and every cell must produce
+*byte-identical* executions: same decisions, same rounds, same value for
+every :class:`Metrics` counter, same flat omit indices, same replay
+fingerprints.  These tests pin the columnar layout itself (arrays match a
+naive per-copy enumeration), the lazy ``Message`` views (inboxes
+materialize only when read), the metering-precedence and duplicate-omit
+bugfixes, and the randomized differential property over
+:class:`ChaosAdversary` schedules.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import ChaosAdversary, SilenceAdversary
+from repro.baselines.ben_or import BenOrVotingProcess
+from repro.harness import execute
+from repro.replay import InvariantObserver, load_recipe, record, replay
+from repro.runtime import (
+    Adversary,
+    AdversaryAction,
+    AdversaryProtocolError,
+    ColumnarBatch,
+    LazyMessageList,
+    Message,
+    MessageBatch,
+    Multicast,
+    RoundObserver,
+    SyncNetwork,
+    SyncProcess,
+    canonical_omissions,
+    result_to_dict,
+)
+from repro.runtime.columnar import HAVE_NUMPY, plan_delivery
+
+from .test_multicast import Broadcaster, ScriptedOmitter
+from .test_replay import GOLDEN
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="columnar engine requires numpy"
+)
+
+ENGINE_GRID = [
+    (multicast, columnar)
+    for multicast in (True, False)
+    for columnar in (True, False)
+]
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def mixed_batch() -> MessageBatch:
+    return MessageBatch(
+        [
+            Message(0, 3, (1, 2)),
+            Multicast(1, (0, 2, 3), (7,)),
+            Message(2, 1, 9),
+            Multicast(3, (1,), "x"),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# The columnar layout itself.
+class TestColumnarBatch:
+    def test_columns_match_naive_enumeration(self):
+        batch = mixed_batch()
+        cols = batch.columns()
+        flat = list(batch)
+        assert cols.total_copies == len(batch)
+        assert cols.copy_sender.tolist() == [m.sender for m in flat]
+        assert cols.copy_recipient.tolist() == [m.recipient for m in flat]
+        assert cols.copy_bits.tolist() == [m.bits for m in flat]
+        assert cols.rec_offset.tolist() == batch.offsets
+        assert cols.total_bits() == batch.total_bits()
+
+    def test_copy_record_indexes_the_payload_table(self):
+        batch = mixed_batch()
+        cols = batch.columns()
+        for index in range(len(batch)):
+            record_position = int(cols.copy_record[index])
+            assert batch.records[record_position].payload is (
+                batch[index].payload
+            )
+
+    def test_columns_are_cached_per_batch(self):
+        batch = mixed_batch()
+        assert batch.columns() is batch.columns()
+
+    def test_fanout_cache_reuses_tuple_conversions(self):
+        recipients = (0, 2, 3)
+        cache: dict = {}
+        first = ColumnarBatch.from_records(
+            [Multicast(1, recipients, (7,))], cache
+        )
+        second = ColumnarBatch.from_records(
+            [Multicast(4, recipients, (9,))], cache
+        )
+        assert len(cache) == 1
+        assert first.copy_recipient.tolist() == (
+            second.copy_recipient.tolist()
+        )
+
+    def test_empty_batch(self):
+        cols = MessageBatch([]).columns()
+        assert cols.total_copies == 0
+        assert cols.total_bits() == 0
+
+
+class TestLazyMessageList:
+    def test_len_and_bool_do_not_materialize(self):
+        batch = mixed_batch()
+        cols = batch.columns()
+        view = LazyMessageList(cols, cols.all_copies)
+        assert len(view) == len(batch)
+        assert bool(view)
+        assert view._items is None
+
+    def test_materialized_views_match_object_path(self):
+        batch = mixed_batch()
+        cols = batch.columns()
+        view = LazyMessageList(cols, cols.all_copies)
+        for lazy, eager in zip(view, batch):
+            assert (lazy.sender, lazy.recipient, lazy.bits) == (
+                eager.sender,
+                eager.recipient,
+                eager.bits,
+            )
+            assert lazy.payload is eager.payload
+        assert view._items is not None
+        assert view[0] is view[0]  # cached after first access
+
+
+class TestPlanDelivery:
+    def test_clean_round_delivers_everything_grouped(self):
+        batch = mixed_batch()
+        plan = plan_delivery(batch.columns(), (), None)
+        assert plan.delivered_bits == batch.total_bits()
+        assert plan.lost_bits == 0
+        assert len(plan.lost) == 0
+        owners = [owner for owner, _ in plan.inboxes]
+        assert owners == sorted(owners)
+        grouped = {
+            owner: [(m.sender, m.recipient) for m in inbox]
+            for owner, inbox in plan.inboxes
+        }
+        want: dict[int, list[tuple[int, int]]] = {}
+        for message in batch:
+            want.setdefault(message.recipient, []).append(
+                (message.sender, message.recipient)
+            )
+        assert grouped == want
+
+    def test_omission_precedence_over_terminated_recipient(self):
+        # Copy 1 (1 -> 0) is both omitted and addressed to a terminated
+        # recipient: it must count as omitted (excluded from delivered
+        # AND from lost).  Copy 0 (0 -> 3) to the live world delivers;
+        # the un-omitted copy to recipient 0 is lost.
+        batch = mixed_batch()
+        live = [False, True, True, True]
+        plan = plan_delivery(batch.columns(), (1,), live)
+        delivered = [(m.sender, m.recipient) for m in plan.delivered]
+        lost = [(m.sender, m.recipient) for m in plan.lost]
+        assert (1, 0) not in delivered and (1, 0) not in lost
+        assert lost == []  # no other copy addresses recipient 0
+        assert len(delivered) == len(batch) - 1
+
+    def test_lost_copies_in_flat_order(self):
+        batch = MessageBatch(
+            [Multicast(1, (0, 2, 0), (7,)), Message(2, 0, 5)]
+        )
+        live = [False, True, True]
+        plan = plan_delivery(batch.columns(), (), live)
+        assert [(m.sender, m.recipient) for m in plan.lost] == [
+            (1, 0),
+            (1, 0),
+            (2, 0),
+        ]
+        assert plan.lost_bits == sum(m.bits for m in plan.lost)
+        assert plan.delivered_bits == sum(m.bits for m in plan.delivered)
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: the 2x2 grid is byte-identical end to end.
+class TestEngineGridEquivalence:
+    def ben_or_result(self, multicast, columnar):
+        network = SyncNetwork(
+            [BenOrVotingProcess(pid, 24, pid % 2) for pid in range(24)],
+            adversary=SilenceAdversary(range(4)),
+            t=4,
+            seed=6,
+            multicast=multicast,
+            columnar=columnar,
+        )
+        return network.run()
+
+    def test_ben_or_identical_across_grid(self):
+        prints = {
+            cell: canonical(self.ben_or_result(*cell)) for cell in ENGINE_GRID
+        }
+        assert len(set(prints.values())) == 1
+
+    def test_scripted_omissions_identical_across_grid(self):
+        prints = []
+        inbox_logs = []
+        for multicast, columnar in ENGINE_GRID:
+            network = SyncNetwork(
+                [Broadcaster(pid, 4) for pid in range(4)],
+                adversary=ScriptedOmitter(
+                    corrupt=[0], omit_by_round={0: [1], 1: [0, 2]}
+                ),
+                t=1,
+                multicast=multicast,
+                columnar=columnar,
+            )
+            prints.append(canonical(network.run()))
+            inbox_logs.append(
+                [process.inboxes for process in network.processes]
+            )
+        assert len(set(prints)) == 1
+        assert all(log == inbox_logs[0] for log in inbox_logs)
+
+    def test_omit_validation_errors_match_object_path(self):
+        for omit, fragment in (
+            ([12], "out of range"),
+            ([4], "touches none"),
+        ):
+            errors = []
+            for columnar in (True, False):
+                network = SyncNetwork(
+                    [Broadcaster(pid, 4) for pid in range(4)],
+                    adversary=ScriptedOmitter(
+                        corrupt=[0], omit_by_round={0: omit}
+                    ),
+                    t=1,
+                    columnar=columnar,
+                )
+                with pytest.raises(AdversaryProtocolError) as excinfo:
+                    network.run()
+                errors.append(str(excinfo.value))
+            assert errors[0] == errors[1]
+            assert fragment in errors[0]
+
+    def test_mixed_legal_illegal_names_first_sorted_offender(self):
+        # Sorted-order semantics: with {3 (legal), 12 (out of range)} the
+        # offender named must be 12 on both paths; with {4 (illegal
+        # endpoints), 12} the range error at 12 fires only after 4's
+        # endpoint check passes -- 4 is first in sorted order and must win.
+        errors = {}
+        for columnar in (True, False):
+            network = SyncNetwork(
+                [Broadcaster(pid, 4) for pid in range(4)],
+                adversary=ScriptedOmitter(
+                    corrupt=[0], omit_by_round={0: [4, 12]}
+                ),
+                t=1,
+                columnar=columnar,
+            )
+            with pytest.raises(AdversaryProtocolError) as excinfo:
+                network.run()
+            errors[columnar] = str(excinfo.value)
+        assert errors[True] == errors[False]
+        assert "1->2" in errors[True]
+
+    def test_columnar_true_without_numpy_raises(self, monkeypatch):
+        import repro.runtime.network as network_module
+
+        monkeypatch.setattr(network_module, "HAVE_NUMPY", False)
+        processes = [Broadcaster(pid, 2) for pid in range(2)]
+        with pytest.raises(ValueError, match="requires numpy"):
+            SyncNetwork(processes, columnar=True)
+        auto = SyncNetwork(processes, columnar=None)
+        assert auto.columnar is False
+
+
+class SilentSink(SyncProcess):
+    """Broadcasts every round but never reads a single inbox message."""
+
+    rounds = 3
+
+    def program(self, env):
+        for _ in range(self.rounds):
+            env.broadcast((self.pid,))
+            yield
+        env.decide(0)
+
+
+class InboxSpy(RoundObserver):
+    def __init__(self):
+        self.delivered_types: list[type] = []
+        self.unmaterialized = 0
+
+    def on_deliveries(self, round_no, delivered, lost, network):
+        self.delivered_types.append(type(delivered))
+        if (
+            isinstance(delivered, LazyMessageList)
+            and delivered._items is None
+        ):
+            self.unmaterialized += 1
+
+
+class TestLazyDelivery:
+    def test_unread_inboxes_never_materialize(self):
+        spy = InboxSpy()
+        network = SyncNetwork(
+            [SilentSink(pid, 8) for pid in range(8)],
+            columnar=True,
+            observers=[spy],
+        )
+        result = network.run()
+        # Every delivery round handed observers a lazy view, and since the
+        # metrics observer only needs len() + the engine's bit totals, no
+        # per-copy Message was ever constructed.
+        assert spy.delivered_types == [LazyMessageList] * SilentSink.rounds
+        assert spy.unmaterialized == SilentSink.rounds
+        assert result.metrics.messages_delivered == 8 * 7 * SilentSink.rounds
+
+    def test_hand_built_unsorted_batch_falls_back_to_object_path(self):
+        network = SyncNetwork(
+            [Broadcaster(pid, 3) for pid in range(3)], columnar=True
+        )
+        unsorted = MessageBatch(
+            [Message(2, 0, "b"), Multicast(0, (1, 2), "a")]
+        )
+        assert not unsorted.sender_sorted
+        network._deliver(unsorted, ())
+        # Object-path delivery: plain list inboxes, sender-sorted order.
+        assert [
+            (m.sender, m.payload) for m in network._inboxes[1]
+        ] == [(0, "a")]
+        assert [
+            (m.sender, m.payload) for m in network._inboxes[2]
+        ] == [(0, "a")]
+        assert [
+            (m.sender, m.payload) for m in network._inboxes[0]
+        ] == [(2, "b")]
+
+
+# ---------------------------------------------------------------------------
+# Bugfix: metering precedence (omitted beats lost) on every engine path.
+class Quitter(SyncProcess):
+    """Broadcasts once and terminates immediately (before delivery)."""
+
+    def program(self, env):
+        env.broadcast((self.pid,))
+        env.decide(0)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+class Talker(SyncProcess):
+    """Broadcasts once, reads one inbox, decides."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid, n)
+        self.heard: list[tuple[int, int]] = []
+
+    def program(self, env):
+        env.broadcast((self.pid,))
+        inbox = yield
+        self.heard = [(m.sender, m.recipient) for m in inbox]
+        env.decide(0)
+
+
+class TestMeteringPrecedence:
+    """Round-0 batch (n=3, all-to-all): flat index 2 is the 1 -> 0 copy,
+    flat index 4 the 2 -> 0 copy.  Process 0 terminates during round 0's
+    local phase, so both copies address a terminated recipient; the
+    adversary corrupts 1 and omits index 2.  The overlap copy must count
+    as omitted (not lost, not dropped from the identity), the un-omitted
+    copy 4 as lost."""
+
+    def run_cell(self, multicast, columnar):
+        processes = [
+            Quitter(0, 3),
+            Talker(1, 3),
+            Talker(2, 3),
+        ]
+        network = SyncNetwork(
+            processes,
+            adversary=ScriptedOmitter(corrupt=[1], omit_by_round={0: [2]}),
+            t=1,
+            multicast=multicast,
+            columnar=columnar,
+            observers=[InvariantObserver()],
+        )
+        return network, network.run()
+
+    @pytest.mark.parametrize("multicast,columnar", ENGINE_GRID)
+    def test_overlap_copy_is_omitted_not_lost(self, multicast, columnar):
+        network, result = self.run_cell(multicast, columnar)
+        metrics = result.metrics
+        assert metrics.messages_sent == 6
+        assert metrics.messages_omitted == 1
+        assert metrics.messages_lost == 1  # only the 2 -> 0 copy
+        assert metrics.messages_delivered == 4
+        assert (
+            metrics.messages_delivered
+            + metrics.messages_omitted
+            + metrics.messages_lost
+            == metrics.messages_sent
+        )
+
+    def test_fingerprints_identical_across_grid(self):
+        prints = {
+            cell: canonical(self.run_cell(*cell)[1]) for cell in ENGINE_GRID
+        }
+        assert len(set(prints.values())) == 1
+
+
+# ---------------------------------------------------------------------------
+# Bugfix: duplicate omit indices are canonicalized at one choke point.
+class DuplicateOmitter(Adversary):
+    """Emits the same flat omit index three times in round 0 (legal per
+    the model -- omitting a message twice is omitting it once -- but
+    previously double-counted by metering and recorded verbatim)."""
+
+    def act(self, view):
+        if view.round == 0:
+            return AdversaryAction(
+                corrupt=frozenset({0}), omit=(1, 1, 1)  # type: ignore[arg-type]
+            )
+        return AdversaryAction.nothing()
+
+
+class TestDuplicateOmissions:
+    def test_canonical_omissions_sorts_and_dedupes(self):
+        assert canonical_omissions([3, 1, 3, 3, 2]) == (1, 2, 3)
+        assert canonical_omissions(()) == ()
+
+    @pytest.mark.parametrize("multicast,columnar", ENGINE_GRID)
+    def test_duplicates_meter_and_execute_as_one(self, multicast, columnar):
+        def run(adversary):
+            network = SyncNetwork(
+                [Broadcaster(pid, 4) for pid in range(4)],
+                adversary=adversary,
+                t=1,
+                multicast=multicast,
+                columnar=columnar,
+                observers=[InvariantObserver()],
+            )
+            return network.run()
+
+        duplicated = run(DuplicateOmitter())
+        deduped = run(ScriptedOmitter(corrupt=[0], omit_by_round={0: [1]}))
+        assert duplicated.metrics.messages_omitted == 1
+        assert canonical(duplicated) == canonical(deduped)
+
+    def test_recorded_recipe_round_trips_through_strict_replay(self):
+        recorded = record(
+            "ben-or",
+            [pid % 2 for pid in range(8)],
+            t=1,
+            adversary=DuplicateOmitter(),
+            seed=3,
+        )
+        assert not recorded.failed
+        (action,) = [a for a in recorded.recipe.actions if a.omit]
+        assert action.omit == (1,)  # canonical in the recording itself
+        for multicast, columnar in ENGINE_GRID:
+            report = replay(
+                recorded.recipe,
+                strict=True,
+                multicast=multicast,
+                columnar=columnar,
+            )
+            assert report.ok, report.summary()
+
+    def test_legacy_recipe_with_duplicates_parses_canonical(self):
+        from repro.replay.recipe import recipe_from_payload, recipe_payload
+
+        recorded = record(
+            "ben-or",
+            [pid % 2 for pid in range(8)],
+            t=1,
+            adversary=DuplicateOmitter(),
+            seed=3,
+        )
+        payload = recipe_payload(recorded.recipe)
+        # Simulate a pre-canonicalization artifact with raw duplicates.
+        for entry in payload["actions"]:
+            if entry["omit"]:
+                entry["omit"] = [1, 1, 1]
+        parsed = recipe_from_payload(payload)
+        (action,) = [a for a in parsed.actions if a.omit]
+        assert action.omit == (1,)
+        assert replay(parsed, strict=True).ok
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential property: chaos schedules across the grid.
+CHAOS_CELLS = [
+    ("ben-or", 21, 4, seed) for seed in (0, 1, 2, 3)
+] + [("phase-king", 13, 3, seed) for seed in (0, 1, 2)]
+
+
+class TestChaosDifferential:
+    @pytest.mark.parametrize("protocol,n,t,seed", CHAOS_CELLS)
+    def test_columnar_matches_object_engine(self, protocol, n, t, seed):
+        """Same protocol, same seed, a fresh ChaosAdversary per engine
+        config (its RNG is stateful): decisions, rounds, every metrics
+        counter, and the full serialized result must agree across the
+        whole multicast x columnar grid."""
+        inputs = [pid % 2 for pid in range(n)]
+        prints = {}
+        for multicast, columnar in ENGINE_GRID:
+            run = execute(
+                protocol,
+                inputs,
+                t=t,
+                adversary=ChaosAdversary(seed=seed),
+                seed=seed,
+                multicast=multicast,
+                columnar=columnar,
+            )
+            prints[(multicast, columnar)] = canonical(run.result)
+        assert len(set(prints.values())) == 1
+
+    @pytest.mark.parametrize("protocol,n,t,seed", CHAOS_CELLS[:2] + CHAOS_CELLS[-1:])
+    def test_chaos_recording_replays_across_grid(self, protocol, n, t, seed):
+        inputs = [pid % 2 for pid in range(n)]
+        recorded = record(
+            protocol,
+            inputs,
+            t=t,
+            adversary=ChaosAdversary(seed=seed),
+            seed=seed,
+            columnar=True,
+        )
+        assert not recorded.failed
+        assert recorded.recipe.columnar is True
+        for multicast, columnar in ENGINE_GRID:
+            report = replay(
+                recorded.recipe, multicast=multicast, columnar=columnar
+            )
+            assert report.ok, report.summary()
+
+
+# ---------------------------------------------------------------------------
+# The golden artifact certifies all four engine paths.
+class TestGoldenAcrossGrid:
+    @pytest.mark.parametrize("multicast,columnar", ENGINE_GRID)
+    def test_golden_ben_or_replays_byte_identical(self, multicast, columnar):
+        report = replay(
+            load_recipe(GOLDEN), multicast=multicast, columnar=columnar
+        )
+        assert report.ok, report.summary()

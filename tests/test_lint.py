@@ -249,6 +249,90 @@ class TestRep006:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — per-copy Message construction in engine hot loops
+class TestRep007:
+    def test_message_in_for_loop_flagged(self):
+        src = (
+            "def deliver(batch):\n"
+            "    out = []\n"
+            "    for m in batch:\n"
+            "        out.append(Message(m.sender, m.recipient, m.payload))\n"
+            "    return out\n"
+        )
+        assert codes(
+            lint_source(src, "src/repro/runtime/network.py")
+        ) == ["REP007"]
+
+    def test_message_in_comprehension_flagged(self):
+        src = (
+            "def expand(records):\n"
+            "    return [Message(r.sender, p, r.payload)\n"
+            "            for r in records for p in r.recipients]\n"
+        )
+        assert codes(
+            lint_source(src, "src/repro/runtime/columnar.py")
+        ) == ["REP007"]
+
+    def test_message_in_while_loop_flagged(self):
+        src = (
+            "def drain(queue):\n"
+            "    while queue:\n"
+            "        queue.pop().append(Message(0, 1, None))\n"
+        )
+        assert codes(
+            lint_source(src, "src/repro/runtime/network.py")
+        ) == ["REP007"]
+
+    def test_single_construction_outside_loop_clean(self):
+        src = (
+            "def reply(m):\n"
+            "    return Message(m.recipient, m.sender, m.payload)\n"
+        )
+        assert lint_source(src, "src/repro/runtime/network.py") == []
+
+    def test_designated_materialization_points_exempt(self):
+        loop = (
+            "    def {name}(self, items):\n"
+            "        out = []\n"
+            "        for item in items:\n"
+            "            out.append(Message(0, item, None))\n"
+            "        return out\n"
+        )
+        for relpath, name in (
+            ("src/repro/runtime/columnar.py", "_materialize"),
+            ("src/repro/runtime/network.py", "_deliver"),
+            ("src/repro/runtime/process.py", "_queue_multicast"),
+        ):
+            src = "class X:\n" + loop.format(name=name)
+            assert lint_source(src, relpath) == [], relpath
+            renamed = "class X:\n" + loop.format(name="other")
+            assert codes(lint_source(renamed, relpath)) == ["REP007"], relpath
+
+    def test_messages_module_wholly_exempt(self):
+        src = (
+            "def __iter__(self):\n"
+            "    for r in self.records:\n"
+            "        yield Message(r.sender, r.recipient, r.payload)\n"
+        )
+        assert lint_source(src, "src/repro/runtime/messages.py") == []
+
+    def test_outside_runtime_unflagged(self):
+        src = (
+            "def make(n):\n"
+            "    return [Message(0, i, None) for i in range(n)]\n"
+        )
+        assert lint_source(src, "src/repro/adversary/tool.py") == []
+
+    def test_loop_iterable_evaluated_once_is_clean(self):
+        src = (
+            "def probe(x):\n"
+            "    for m in [Message(0, 1, None)]:\n"
+            "        use(m)\n"
+        )
+        assert lint_source(src, "src/repro/runtime/network.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 class TestPragmas:
     def test_line_pragma_suppresses_named_rule(self):
