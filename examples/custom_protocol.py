@@ -99,8 +99,10 @@ def main() -> None:
         return
 
     # Cost comparison against the paper's algorithm on one workload.
+    # This example deliberately drives the raw engine; registered
+    # protocols should go through repro.harness.execute() instead.
     inputs = [pid % 2 for pid in range(n)]
-    network = SyncNetwork(factory(inputs, t), t=t, seed=3)
+    network = SyncNetwork(factory(inputs, t), t=t, seed=3)  # repro-lint: disable=REP008
     custom = network.run()
     custom.agreement_value()
     paper = run_consensus(inputs, t=t, params=ProtocolParams.practical(),

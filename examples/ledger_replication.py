@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import random
 
-from repro import ProtocolParams, run_consensus
+from repro import ProtocolParams
 from repro.adversary import SilenceAdversary, VoteBalancingAdversary
+from repro.harness import execute
 
 N_REPLICAS = 96
 N_SLOTS = 5
@@ -56,8 +57,18 @@ def main() -> None:
             adversary = VoteBalancingAdversary(seed=slot)
             label = "balance"
 
-        run = run_consensus(
-            inputs, t=t, adversary=adversary, params=params, seed=100 + slot
+        # Every slot goes through the unified harness; the ledger runs on
+        # the partial-synchrony round model, whose default regime (wait
+        # for the slowest copy) keeps counters byte-identical to lockstep
+        # while modelling per-link latency.
+        run = execute(
+            "algorithm1",
+            inputs,
+            t=t,
+            adversary=adversary,
+            params=params,
+            seed=100 + slot,
+            model="partial-synchrony",
         )
         decision = run.decision
         faulty = run.result.faulty

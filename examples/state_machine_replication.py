@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 
 from repro.adversary import RandomOmissionAdversary, SilenceAdversary
-from repro.core import run_multivalued_consensus
+from repro.harness import execute
 from repro.params import ProtocolParams
 
 N_REPLICAS = 36
@@ -78,7 +78,11 @@ def main() -> None:
             if slot % 2 == 0
             else RandomOmissionAdversary(0.8, seed=slot)
         )
-        result = run_multivalued_consensus(
+        # Each log slot is one consensus instance through the unified
+        # harness entry point; any registered protocol, adversary, or
+        # execution model slots in without touching the replication loop.
+        result = execute(
+            "multivalued",
             proposals,
             value_bits=VALUE_BITS,
             t=t,

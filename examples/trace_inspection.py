@@ -35,8 +35,11 @@ def main() -> None:
         [pid % 2 for pid in range(N)], t=t, params=params
     )
     recorder = TraceRecorder(sample_every=1)
+    # This example deliberately drives the raw engine to show
+    # TraceRecorder.attach(); protocols registered with the harness
+    # should pass observers to repro.harness.execute() instead.
     network = recorder.attach(
-        SyncNetwork(processes, adversary=adversary, t=t, seed=5)
+        SyncNetwork(processes, adversary=adversary, t=t, seed=5)  # repro-lint: disable=REP008
     )
     result = network.run()
     decision = result.agreement_value()

@@ -80,7 +80,10 @@ def record_cell_key(record: dict[str, Any]) -> tuple:
 
     Includes the options (e.g. the tradeoff ``x``): two sweeps that differ
     only in options must never silently reuse each other's records.
-    Records written before options were stored count as empty options.
+    Records written before options were stored count as empty options;
+    records written before the execution-model axis count as the default
+    model (``None``), so legacy journals still satisfy legacy specs while
+    a partial-synchrony sweep never reuses lockstep records.
     """
     return (
         record["protocol"],
@@ -88,6 +91,7 @@ def record_cell_key(record: dict[str, Any]) -> tuple:
         record["adversary"],
         record["seed"],
         _options_key(record.get("options", {})),
+        record.get("model"),
     )
 
 
@@ -109,6 +113,9 @@ class CampaignSpec:
     seeds: Sequence[int] = (0,)
     options: dict[str, Any] = field(default_factory=dict)
     capture: Sequence[str] = ()
+    #: Execution-model axis: a registered round-model name, or ``None``
+    #: for the environment default.  Part of cell identity when set.
+    model: str | None = None
 
     def __post_init__(self) -> None:
         sweepable = available_protocols(sweepable=True)
@@ -116,6 +123,14 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; choose from {sweepable}"
             )
+        if self.model is not None:
+            from ..runtime import available_models
+
+            if self.model not in available_models():
+                raise ValueError(
+                    f"unknown execution model {self.model!r}; choose from "
+                    f"{available_models()}"
+                )
         unknown = set(self.adversaries) - set(ADVERSARY_FACTORIES)
         if unknown:
             raise ValueError(
@@ -139,7 +154,14 @@ class CampaignSpec:
 
     def cell_key(self, n: int, adversary: str, seed: int) -> tuple:
         """Identity of one cell — must match :func:`record_cell_key`."""
-        return (self.protocol, n, adversary, seed, _options_key(self.options))
+        return (
+            self.protocol,
+            n,
+            adversary,
+            seed,
+            _options_key(self.options),
+            self.model,
+        )
 
 
 def _run_cell(
@@ -178,6 +200,7 @@ def _run_cell(
             seed=seed,
             observers=observers,
             options=spec.options,
+            model=spec.model,
             note=(
                 f"campaign {spec.name}: n={n} "
                 f"adversary={adversary_name} seed={seed}"
@@ -188,7 +211,7 @@ def _run_cell(
             path = save_recipe(
                 recorded.recipe, Path(record_failures) / f"{stem}.json"
             )
-            return {
+            failed_record = {
                 "campaign": spec.name,
                 "protocol": spec.protocol,
                 "n": n,
@@ -201,6 +224,9 @@ def _run_cell(
                 "error": str(recorded.failure),
                 "recipe": str(path),
             }
+            if spec.model is not None:
+                failed_record["model"] = spec.model
+            return failed_record
         run = recorded.run
     else:
         run = execute(
@@ -211,6 +237,7 @@ def _run_cell(
             seed=seed,
             observers=observers,
             options=spec.options,
+            model=spec.model,
         )
 
     metrics = run.metrics
@@ -233,6 +260,10 @@ def _run_cell(
             getattr(run, "ran_deterministic_fallback", run.used_fallback)
         ),
     }
+    if spec.model is not None:
+        # Only model-pinned sweeps carry the key, so records written by
+        # legacy specs keep their exact journal identity.
+        record["model"] = spec.model
     if protocol.record_extras is not None:
         record.update(protocol.record_extras(run, run.request))
     if recorder is not None:

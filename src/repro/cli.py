@@ -42,6 +42,12 @@ ADVERSARIES = {
 }
 
 
+def _available_models() -> tuple[str, ...]:
+    from .runtime import available_models
+
+    return available_models()
+
+
 def _build_adversary(name: str, n: int, t: int, seed: int) -> Adversary | None:
     try:
         factory = ADVERSARIES[name]
@@ -73,6 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         adversary=adversary,
         seed=args.seed,
         observers=(profiler,) if profiler is not None else (),
+        model=args.model,
     )
     metrics = run.metrics
     if args.json:
@@ -192,6 +199,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seeds=_parse_int_list(args.seeds),
         options=options,
         capture=tuple(item for item in args.capture.split(",") if item),
+        model=args.model,
     )
     resume = []
     output = args.output
@@ -266,7 +274,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     strict = False if args.lenient else None
     try:
         report = replay(
-            recipe, strict=strict, multicast=multicast, columnar=columnar
+            recipe,
+            strict=strict,
+            multicast=multicast,
+            columnar=columnar,
+            model=args.model,
         )
     except ValueError as exc:
         # e.g. the recipe names a protocol this process has not
@@ -333,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--profile", action="store_true",
         help="attach a RoundProfiler and print per-phase wall time",
+    )
+    run_parser.add_argument(
+        "--model", default=None, choices=list(_available_models()),
+        help="execution model (default: $REPRO_EXECUTION_MODEL or lockstep)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -408,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
         "violating cells save an ExecutionRecipe here instead of aborting "
         "the sweep",
     )
+    campaign_parser.add_argument(
+        "--model", default=None, choices=list(_available_models()),
+        help="execution model axis; part of cell identity when given",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     replay_parser = sub.add_parser(
@@ -423,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--columnar", choices=("on", "off"), default=None,
         help="override the recorded delivery engine (on = vectorized "
         "numpy path, off = object path)",
+    )
+    replay_parser.add_argument(
+        "--model", default=None, choices=list(_available_models()),
+        help="override the recipe's recorded execution model",
     )
     replay_parser.add_argument(
         "--lenient", action="store_true",

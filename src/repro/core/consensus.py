@@ -32,7 +32,6 @@ spreading-graph connectivity.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from collections.abc import Sequence
@@ -320,10 +319,9 @@ class OptimalOmissionsConsensus(SyncProcess):
 class ConsensusRun:
     """A finished consensus execution plus convenience accessors.
 
-    Unpacks like the historical ``(result, processes)`` tuple —
-    ``result, processes = run_ben_or(...)`` and ``run_trb(...)[0]`` keep
-    working but emit :class:`DeprecationWarning`; use the named ``result`` /
-    ``processes`` fields and the richer accessors below instead.
+    The historical ``(result, processes)`` tuple protocol was removed
+    after its documented deprecation window (docs/api.md); use the named
+    ``result`` / ``processes`` fields and the richer accessors below.
     """
 
     result: ExecutionResult
@@ -331,28 +329,6 @@ class ConsensusRun:
     #: The normalized :class:`repro.harness.ExecutionRequest` this run was
     #: produced from (None for runs constructed outside the harness).
     request: Any = None
-
-    def __iter__(self):
-        warnings.warn(
-            "tuple-unpacking a ConsensusRun is deprecated; use the named "
-            "fields run.result and run.processes instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        yield self.result
-        yield self.processes
-
-    def __getitem__(self, index):
-        warnings.warn(
-            "indexing a ConsensusRun like a tuple is deprecated; use the "
-            "named fields run.result and run.processes instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return (self.result, self.processes)[index]
-
-    def __len__(self) -> int:
-        return 2
 
     @property
     def decision(self) -> Any:

@@ -24,7 +24,13 @@ from collections.abc import Callable, Mapping, Sequence
 from typing import TYPE_CHECKING, Any
 
 from ..params import ProtocolParams
-from ..runtime import Adversary, RoundObserver, SyncNetwork, SyncProcess
+from ..runtime import (
+    Adversary,
+    RoundModel,
+    RoundObserver,
+    SyncNetwork,
+    SyncProcess,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from ..core.consensus import ConsensusRun
@@ -48,6 +54,10 @@ class ExecutionRequest:
     adversary: Adversary | None
     max_rounds: int | None
     options: Mapping[str, Any] = field(default_factory=dict)
+    #: Execution-model axis: a registered model name, a ready-made
+    #: :class:`RoundModel`, or ``None`` for the environment default.
+    model: RoundModel | str | None = None
+    model_options: Mapping[str, Any] | None = None
 
     def option(self, key: str, default: Any = None) -> Any:
         return self.options.get(key, default)
@@ -163,6 +173,8 @@ def execute(
     options: Mapping[str, Any] | None = None,
     multicast: bool = True,
     columnar: bool | None = None,
+    model: RoundModel | str | None = None,
+    model_options: Mapping[str, Any] | None = None,
     **extra_options: Any,
 ) -> ConsensusRun:
     """Run one protocol end-to-end through the unified harness.
@@ -178,7 +190,11 @@ def execute(
     engine's legacy per-copy send path, ``columnar=False`` the legacy
     object-per-copy delivery loop (``None`` auto-selects the vectorized
     path when numpy is available; metrics are identical on every path and
-    replay verification exercises all of them).
+    replay verification exercises all of them).  ``model`` selects the
+    round model (``"lockstep"`` / ``"partial-synchrony"`` / a
+    :class:`RoundModel` instance; ``None`` honours the
+    ``REPRO_EXECUTION_MODEL`` environment variable before defaulting to
+    lockstep), with ``model_options`` forwarded to the model constructor.
 
     Returns a :class:`repro.core.consensus.ConsensusRun`.
     """
@@ -205,6 +221,8 @@ def execute(
         adversary=adversary,
         max_rounds=max_rounds,
         options=MappingProxyType(merged_options),
+        model=model,
+        model_options=model_options,
     )
     processes, budget = spec.build(request)
     network = SyncNetwork(
@@ -218,6 +236,8 @@ def execute(
         observers=observers,
         multicast=multicast,
         columnar=columnar,
+        model=model,
+        model_options=model_options,
     )
     result = network.run()
     return ConsensusRun(

@@ -1,14 +1,24 @@
-"""REP004: deprecated API usage.
+"""API-surface rules: REP004 (removed legacy API) and REP008 (direct
+engine construction).
 
-The PR-5 deprecation timeline (docs/api.md) keeps three legacy surfaces
-alive behind ``DeprecationWarning``s; this rule makes new code stop
-growing onto them:
+The deprecation timeline in docs/api.md ran its course: the three legacy
+surfaces below were deleted from the codebase, so code written against
+them now fails at runtime.  REP004 catches such code statically (and
+earlier than a crash would):
 
 * ``SyncNetwork(on_round=...)`` — superseded by the observer bus;
 * ``ConsensusRun`` tuple protocol (``run[0]``, ``result, procs = run_x(...)``)
   — superseded by the named ``.result`` / ``.processes`` attributes;
 * three-argument ``Adversary.setup(n, t, processes)`` — superseded by
   ``setup(ctx: AdversaryContext)``.
+
+REP008 keeps the harness the single front door to the engine: library
+and example code that constructs ``SyncNetwork(...)`` directly bypasses
+the registry's model axis, option normalization, and record/replay
+surface.  The harness itself, the engine's own package, and the test and
+benchmark trees are designated fixtures; anything else either routes
+through :func:`repro.harness.execute` or carries an explicit
+``# repro-lint: disable=REP008`` pragma naming itself a fixture.
 """
 
 from __future__ import annotations
@@ -45,12 +55,12 @@ def _is_run_helper_call(node: ast.expr) -> bool:
 
 @register_rule
 class DeprecatedApi(Rule):
-    """REP004: code growing onto a deprecated surface."""
+    """REP004: code written against a removed legacy surface."""
 
     code = "REP004"
-    name = "deprecated-api"
+    name = "removed-api"
     summary = (
-        "deprecated surface: on_round=, ConsensusRun tuple protocol, or "
+        "removed surface: on_round=, ConsensusRun tuple protocol, or "
         "legacy Adversary.setup(n, t, processes)"
     )
 
@@ -91,7 +101,7 @@ class DeprecatedApi(Rule):
                 yield self.finding(
                     module,
                     stmt,
-                    "tuple-unpacking a ConsensusRun is deprecated; use "
+                    "tuple-unpacking a ConsensusRun no longer works; use "
                     "`run = run_*(...)` and the named .result/.processes "
                     "attributes",
                 )
@@ -125,8 +135,9 @@ class DeprecatedApi(Rule):
                     yield self.finding(
                         module,
                         keyword.value,
-                        "SyncNetwork(on_round=...) is deprecated; register "
-                        "a RoundObserver (observers=[CallbackObserver(...)])",
+                        "SyncNetwork(on_round=...) was removed; register "
+                        "a RoundObserver via observers=[...] or "
+                        "add_observer()",
                     )
 
     def _check_subscript(
@@ -145,7 +156,7 @@ class DeprecatedApi(Rule):
             yield self.finding(
                 module,
                 node,
-                "indexing a ConsensusRun like a tuple is deprecated; use "
+                "indexing a ConsensusRun like a tuple no longer works; use "
                 "the named .result/.processes attributes",
             )
 
@@ -166,8 +177,8 @@ class DeprecatedApi(Rule):
                 yield self.finding(
                     module,
                     stmt,
-                    "legacy Adversary.setup(n, t, processes) signature is "
-                    "deprecated; accept a single AdversaryContext",
+                    "legacy Adversary.setup(n, t, processes) signature was "
+                    "removed; accept a single AdversaryContext",
                 )
 
 
@@ -177,3 +188,47 @@ def _subclasses_adversary(node: ast.ClassDef) -> bool:
         if chain and chain[-1].endswith("Adversary"):
             return True
     return False
+
+
+#: Designated fixtures: trees whose direct engine construction is the
+#: point — the harness front door, the engine's own package, and the
+#: test/benchmark corpora that exercise engine seams on purpose.
+_REP008_FIXTURE_DIRS = (
+    "repro/harness",
+    "repro/runtime",
+    "tests",
+    "benchmarks",
+)
+
+
+@register_rule
+class DirectEngineConstruction(Rule):
+    """REP008: library/example code constructs SyncNetwork directly."""
+
+    code = "REP008"
+    name = "direct-engine-construction"
+    summary = (
+        "SyncNetwork(...) constructed outside harness/designated fixtures"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if module.tree is None:
+            return False
+        return not module.in_dirs(*_REP008_FIXTURE_DIRS)
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain is None or chain[-1] != "SyncNetwork":
+                continue
+            yield self.finding(
+                module,
+                node,
+                "direct SyncNetwork(...) construction bypasses the harness "
+                "(model axis, option normalization, record/replay); route "
+                "through repro.harness.execute(), or mark a designated "
+                "fixture with `# repro-lint: disable=REP008`",
+            )

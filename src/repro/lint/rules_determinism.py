@@ -136,6 +136,11 @@ _OS_ENTROPY = frozenset({"urandom", "getrandom"})
 
 _REP002_SCOPE = (
     "repro/runtime",
+    # The round-model layer is nested under runtime/ and already matched
+    # by the fragment above; listed explicitly because simulated time
+    # lives there — a wall-clock read in a RoundModel is the likeliest
+    # future regression.
+    "repro/runtime/models",
     "repro/core",
     "repro/baselines",
     "repro/adversary",
@@ -253,6 +258,9 @@ def _import_node(tree: ast.Module, module_name: str) -> ast.AST:
 
 _REP003_SCOPE = (
     "repro/runtime",
+    # Explicit for the same reason as in _REP002_SCOPE: deferred-delivery
+    # bookkeeping in the models layer must iterate deterministically.
+    "repro/runtime/models",
     "repro/core",
     "repro/baselines",
     "repro/adversary",

@@ -160,7 +160,9 @@ class RolloutValencyAdversary(Adversary):
             processes = self.process_factory()
             scripted = ScriptedAdversary(prefix)
             fork_seed = self._rng.getrandbits(48)
-            network = SyncNetwork(
+            # Rollout forks replay a recorded prefix with reseed_at,
+            # below the harness surface: a designated engine fixture.
+            network = SyncNetwork(  # repro-lint: disable=REP008
                 processes,
                 adversary=scripted,
                 t=t,

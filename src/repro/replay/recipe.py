@@ -76,6 +76,12 @@ class ExecutionRecipe:
     #: implied by pre-columnar recipes) lets the engine auto-select.
     #: Fingerprints are path-independent, so any setting must verify.
     columnar: bool | None = None
+    #: Round model of the recorded run.  Replay honours this (not the
+    #: ``REPRO_EXECUTION_MODEL`` environment) so a recorded execution
+    #: reproduces under any environment; recipes written before the model
+    #: axis existed imply ``"lockstep"``.
+    execution_model: str = "lockstep"
+    model_options: Mapping[str, Any] = field(default_factory=dict)
     max_rounds: int | None = None
     actions: tuple[RecordedAction, ...] = ()
     expected: Mapping[str, Any] | None = None
@@ -119,6 +125,8 @@ def recipe_payload(recipe: ExecutionRecipe) -> dict[str, Any]:
         "options": dict(recipe.options),
         "multicast": recipe.multicast,
         "columnar": recipe.columnar,
+        "execution_model": recipe.execution_model,
+        "model_options": dict(recipe.model_options),
         "max_rounds": recipe.max_rounds,
         "actions": [
             {
@@ -164,6 +172,9 @@ def recipe_from_payload(data: Mapping[str, Any]) -> ExecutionRecipe:
         options=dict(data.get("options") or {}),
         multicast=data.get("multicast", True),
         columnar=data.get("columnar"),
+        # Pre-model-axis recipes recorded lockstep executions.
+        execution_model=data.get("execution_model", "lockstep"),
+        model_options=dict(data.get("model_options") or {}),
         max_rounds=data.get("max_rounds"),
         actions=tuple(
             RecordedAction(

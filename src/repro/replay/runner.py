@@ -129,6 +129,8 @@ def record(
     options: Mapping[str, Any] | None = None,
     multicast: bool = True,
     columnar: bool | None = None,
+    model: str | None = None,
+    model_options: Mapping[str, Any] | None = None,
     invariants: bool = True,
     note: str = "",
     **extra_options: Any,
@@ -141,12 +143,21 @@ def record(
     propagate — it is folded into the recipe's ``expected_failure`` so the
     failing schedule can be replayed and shrunk.  A clean run stores the
     full result fingerprint in ``expected``.
+
+    ``model`` names the round model to record under (``None`` honours
+    ``REPRO_EXECUTION_MODEL`` before defaulting to lockstep); the resolved
+    name and its options are stored in the recipe, so replay reproduces
+    the same model regardless of the replaying environment.
     """
+    from ..runtime import default_model_name
+
     merged: dict[str, Any] = dict(options or {})
     merged.update(extra_options)
     resolved_params = (
         params if params is not None else ProtocolParams.practical()
     )
+    resolved_model = model if model is not None else default_model_name()
+    resolved_model_options = dict(model_options or {})
     recorder = RecipeRecorder()
     attached: list[RoundObserver] = [recorder]
     if invariants:
@@ -170,6 +181,8 @@ def record(
             options=merged,
             multicast=multicast,
             columnar=columnar,
+            model=resolved_model,
+            model_options=resolved_model_options,
         )
     except RECORDABLE_FAILURES as exc:
         failure = exc
@@ -185,6 +198,8 @@ def record(
         options=merged,
         multicast=multicast,
         columnar=columnar,
+        execution_model=resolved_model,
+        model_options=resolved_model_options,
         max_rounds=max_rounds,
         actions=tuple(recorder.actions),
         expected=(
@@ -276,6 +291,7 @@ def replay(
     strict: bool | None = None,
     multicast: bool | None = None,
     columnar: bool | None = None,
+    model: str | None = None,
     invariants: bool = True,
     observers: Sequence[RoundObserver] = (),
 ) -> ReplayReport:
@@ -286,7 +302,10 @@ def replay(
     lenient for failing ones (shrunk schedules may carry omissions whose
     sender was un-corrupted by the shrinker).  ``multicast`` overrides the
     recipe's recorded send path and ``columnar`` its recorded delivery
-    path — metrics must match on every combination.
+    path — metrics must match on every combination.  The round model
+    comes from the recipe itself (never the environment); ``model``
+    overrides it explicitly, which cross-model equivalence tests use to
+    replay a lockstep recording under partial synchrony and vice versa.
     """
     if strict is None:
         strict = not recipe.failing
@@ -316,6 +335,8 @@ def replay(
             columnar=(
                 columnar if columnar is not None else recipe.columnar
             ),
+            model=model if model is not None else recipe.execution_model,
+            model_options=dict(recipe.model_options),
         )
     except RECORDABLE_FAILURES as exc:
         report.failure = exc

@@ -9,8 +9,13 @@ Public surface:
 * :class:`CountingRandom` — the counted random source;
 * :class:`SyncProcess`, :class:`ProcessEnv` — generator-based processes;
 * :class:`SyncNetwork`, :class:`Adversary`, :class:`AdversaryAction`,
-  :class:`NetworkView`, :class:`ExecutionResult` — the round engine and the
+  :class:`NetworkView`, :class:`ExecutionResult` — the engine facade and the
   adaptive full-information adversary hook;
+* :class:`ExecutionCore`, :class:`DeliveryBackend`, :class:`RoundModel` —
+  the engine's three layers (execution, delivery, scheduling), with
+  :class:`LockstepModel` / :class:`PartialSynchronyModel` as the two
+  registered timing disciplines (:func:`create_model`,
+  :func:`available_models`, :func:`default_model_name`);
 * :class:`RoundObserver`, :class:`RoundProfiler`, :class:`TraceRecorder` —
   the engine-driven observer bus and its built-in observers;
 * :class:`Metrics` — rounds / communication bits / randomness accounting;
@@ -33,9 +38,25 @@ from .messages import (
     Multicast,
     payload_bits,
 )
+from .delivery import (
+    ColumnarDeliveryBackend,
+    DeliveryBackend,
+    DeliveryReceipt,
+    ObjectDeliveryBackend,
+    make_backend,
+)
+from .engine import ExecutionCore
 from .metrics import Metrics
+from .models import (
+    LockstepModel,
+    PartialSynchronyModel,
+    RoundModel,
+    available_models,
+    create_model,
+    default_model_name,
+    resolve_model,
+)
 from .observers import (
-    CallbackObserver,
     MetricsObserver,
     RoundObserver,
     RoundProfiler,
@@ -102,12 +123,24 @@ __all__ = [
     "LockstepError",
     "NetworkView",
     "SyncNetwork",
+    "ExecutionCore",
+    "ColumnarDeliveryBackend",
+    "DeliveryBackend",
+    "DeliveryReceipt",
+    "ObjectDeliveryBackend",
+    "make_backend",
+    "LockstepModel",
+    "PartialSynchronyModel",
+    "RoundModel",
+    "available_models",
+    "create_model",
+    "default_model_name",
+    "resolve_model",
     "ProcessEnv",
     "Program",
     "SyncProcess",
     "idle_rounds",
     "receive_round",
-    "CallbackObserver",
     "MetricsObserver",
     "RoundObserver",
     "RoundProfiler",

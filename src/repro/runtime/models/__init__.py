@@ -1,0 +1,99 @@
+"""Round-model registry: the engine's selectable timing disciplines.
+
+The engine is split into three layers — scheduler (this package),
+delivery (:mod:`repro.runtime.delivery`), and execution
+(:mod:`repro.runtime.engine`).  A :class:`RoundModel` is the scheduler:
+it decides when processes advance and when traffic arrives, while the
+adversary API, observer bus, metering, and record/replay behave
+identically across models.
+
+Models are addressed by registry name — ``"lockstep"`` (the paper's
+synchronous rounds, the default) and ``"partial-synchrony"`` (canonical
+rounds over latency-bearing links with a GST).  The default can be
+overridden per-environment via ``REPRO_EXECUTION_MODEL``, which is how CI
+runs the whole tier-1 suite under partial synchrony.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from typing import Any
+
+from .base import RoundModel
+from .lockstep import LockstepModel
+from .partial_synchrony import PartialSynchronyModel
+
+__all__ = [
+    "LockstepModel",
+    "PartialSynchronyModel",
+    "RoundModel",
+    "available_models",
+    "create_model",
+    "default_model_name",
+    "resolve_model",
+]
+
+#: Environment variable naming the model used when none is requested.
+MODEL_ENV_VAR = "REPRO_EXECUTION_MODEL"
+
+_MODELS: dict[str, type[RoundModel]] = {
+    LockstepModel.name: LockstepModel,
+    PartialSynchronyModel.name: PartialSynchronyModel,
+}
+
+
+def available_models() -> tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_MODELS))
+
+
+def default_model_name() -> str:
+    """The model used when neither caller nor recipe names one.
+
+    Reads ``REPRO_EXECUTION_MODEL`` (validated against the registry);
+    falls back to ``"lockstep"``.
+    """
+    name = os.environ.get(MODEL_ENV_VAR, "").strip()
+    if not name:
+        return LockstepModel.name
+    if name not in _MODELS:
+        raise ValueError(
+            f"{MODEL_ENV_VAR}={name!r} names an unknown execution model; "
+            f"choose from: {', '.join(available_models())}"
+        )
+    return name
+
+
+def create_model(
+    name: str, options: Mapping[str, Any] | None = None
+) -> RoundModel:
+    """Instantiate a registered model by name with constructor options."""
+    try:
+        model_cls = _MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution model {name!r}; choose from: "
+            f"{', '.join(available_models())}"
+        ) from None
+    return model_cls(**dict(options or {}))
+
+
+def resolve_model(
+    model: RoundModel | str | None = None,
+    options: Mapping[str, Any] | None = None,
+) -> RoundModel:
+    """Resolve the ``model=`` axis: instance > name > env > lockstep.
+
+    A ready-made :class:`RoundModel` instance is used as-is (``options``
+    must then be empty — the instance already carries its configuration).
+    """
+    if isinstance(model, RoundModel):
+        if options:
+            raise ValueError(
+                "model_options only apply when the model is given by name; "
+                "configure the RoundModel instance directly instead"
+            )
+        return model
+    name = model if model is not None else default_model_name()
+    return create_model(name, options)

@@ -35,24 +35,34 @@ without wrapping the adversary or monkeypatching hooks.
 
 from __future__ import annotations
 
-import inspect
 import random
-import warnings
-from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable, Mapping, Sequence
-from typing import Any, cast
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
 
-from .columnar import (
-    HAVE_NUMPY,
-    FanoutCache,
-    first_illegal_omission,
-    plan_delivery,
-)
-from .messages import Message, MessageBatch, Multicast
-from .metrics import Metrics
-from .observers import CallbackObserver, MetricsObserver, RoundObserver
-from .process import ProcessEnv, Program, SyncProcess
-from .randomness import CountingRandom, derive_seeds, stable_seed
+from .columnar import HAVE_NUMPY, FanoutCache
+from .delivery import make_backend
+from .engine import ExecutionCore, ExecutionResult
+from .messages import Message, MessageBatch
+from .observers import MetricsObserver, RoundObserver
+from .process import SyncProcess
+from .randomness import stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from .models import RoundModel
+
+__all__ = [
+    "Adversary",
+    "AdversaryAction",
+    "AdversaryContext",
+    "AdversaryProtocolError",
+    "ExecutionResult",
+    "LockstepError",
+    "NetworkView",
+    "SyncNetwork",
+    "canonical_omissions",
+    "setup_adversary",
+]
 
 
 class AdversaryProtocolError(RuntimeError):
@@ -216,49 +226,24 @@ class AdversaryContext:
 
 
 def setup_adversary(adversary: Adversary, ctx: AdversaryContext) -> None:
-    """Invoke ``adversary.setup`` with the context, adapting legacy hooks.
+    """Invoke ``adversary.setup`` with the run's context.
 
-    The historical lifecycle hook was ``setup(n, t, processes)``; the
-    current one is ``setup(ctx)``.  Strategies still implementing the old
-    three-argument signature keep working — this adapter unpacks the
-    context for them and emits a :class:`DeprecationWarning`.  Combinators
-    must use this function (not ``inner.setup(...)`` directly) so wrapped
-    legacy strategies are adapted too.
+    The single lifecycle choke point: the engine and every combinator go
+    through this function (not ``inner.setup(...)`` directly) so lifecycle
+    changes land in one place.  The historical ``setup(n, t, processes)``
+    signature was removed after its documented deprecation window
+    (docs/api.md); strategies must accept a single
+    :class:`AdversaryContext`.
     """
-    setup = adversary.setup
-    try:
-        parameters = inspect.signature(setup).parameters.values()
-    except (TypeError, ValueError):  # builtins / C callables: assume current
-        parameters = ()
-    positional = [
-        parameter
-        for parameter in parameters
-        if parameter.kind
-        in (
-            inspect.Parameter.POSITIONAL_ONLY,
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-        )
-    ]
-    if len(positional) >= 3:
-        warnings.warn(
-            f"{type(adversary).__name__}.setup(n, t, processes) is "
-            "deprecated; accept a single AdversaryContext instead "
-            "(setup(self, ctx) with ctx.n / ctx.t / ctx.processes / ctx.rng)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        setup(ctx.n, ctx.t, ctx.processes)
-    else:
-        setup(ctx)
+    adversary.setup(ctx)
 
 
 class Adversary:
     """Base adversary: corrupts nobody and omits nothing.
 
     Concrete strategies override :meth:`act`; they may also override
-    :meth:`setup` to inspect the system before round 0.  The legacy
-    ``setup(n, t, processes)`` signature is still honoured (with a
-    :class:`DeprecationWarning`) via :func:`setup_adversary`.
+    :meth:`setup` to inspect the system before round 0 (it receives a
+    single :class:`AdversaryContext`, via :func:`setup_adversary`).
     """
 
     def setup(self, ctx: AdversaryContext) -> None:
@@ -269,77 +254,20 @@ class Adversary:
         return AdversaryAction.nothing()
 
 
-@dataclass
-class ExecutionResult:
-    """Outcome of :meth:`SyncNetwork.run`."""
-
-    n: int
-    decisions: dict[int, Any]
-    metrics: Metrics
-    faulty: frozenset[int]
-    all_terminated: bool
-    rounds: int
-    #: Per-process random-source statistics (calls, bits).
-    randomness_per_process: list[tuple[int, int]] = field(default_factory=list)
-    #: Round in which each process first decided (absent = never decided).
-    decision_rounds: dict[int, int] = field(default_factory=dict)
-
-    def time_to_agreement(self) -> int:
-        """The paper's *time* metric: rounds until the last **non-faulty**
-        process has decided (Section 2).  Faulty stragglers — e.g. fully
-        eclipsed processes waiting out their timeout — do not count.
-
-        Raises ``AssertionError`` if some non-faulty process never decided.
-        """
-        latest = -1
-        for pid in range(self.n):
-            if pid in self.faulty:
-                continue
-            round_no = self.decision_rounds.get(pid)
-            if round_no is None:
-                raise AssertionError(
-                    f"non-faulty process {pid} never decided"
-                )
-            latest = max(latest, round_no)
-        if latest < 0:
-            raise AssertionError("no non-faulty process decided")
-        return latest + 1
-
-    def non_faulty_decisions(self) -> dict[int, Any]:
-        """Decisions of processes the adversary never corrupted."""
-        return {
-            pid: value
-            for pid, value in self.decisions.items()
-            if pid not in self.faulty
-        }
-
-    def agreement_value(self) -> Any:
-        """The unique decision of non-faulty processes.
-
-        Raises ``AssertionError`` if agreement is violated or some non-faulty
-        process never decided — the core correctness check used by tests.
-        """
-        values = self.non_faulty_decisions()
-        undecided = [
-            pid
-            for pid in range(self.n)
-            if pid not in self.faulty and pid not in values
-        ]
-        if undecided:
-            raise AssertionError(
-                f"termination violated: non-faulty processes {undecided} "
-                "never decided"
-            )
-        distinct = set(values.values())
-        if len(distinct) != 1:
-            raise AssertionError(
-                f"agreement violated: non-faulty decisions {values}"
-            )
-        return distinct.pop()
-
-
 class SyncNetwork:
-    """Drives a set of :class:`SyncProcess` generators in lockstep rounds."""
+    """The engine facade: wires scheduler, delivery, and execution layers.
+
+    A network owns one :class:`~repro.runtime.engine.ExecutionCore` (the
+    processes and their metered randomness), one
+    :class:`~repro.runtime.delivery.DeliveryBackend` (selected by the
+    ``columnar`` capability at construction), and one
+    :class:`~repro.runtime.models.RoundModel` (the timing discipline;
+    lockstep rounds by default, overridable per-call or via the
+    ``REPRO_EXECUTION_MODEL`` environment variable).  The network itself
+    remains the adversary-arbitration and observer-dispatch surface: view
+    construction, action validation, and the fixed hook sequence all live
+    here, identically for every model.
+    """
 
     def __init__(
         self,
@@ -348,36 +276,25 @@ class SyncNetwork:
         t: int = 0,
         seed: int = 0,
         max_rounds: int = 100_000,
-        on_round: Callable[[int, "SyncNetwork"], None] | None = None,
         reseed_at: tuple[int, int] | None = None,
         observers: Sequence[RoundObserver] = (),
         multicast: bool = True,
         columnar: bool | None = None,
+        model: RoundModel | str | None = None,
+        model_options: Mapping[str, Any] | None = None,
     ) -> None:
-        if not processes:
-            raise ValueError("need at least one process")
-        n = len(processes)
-        for index, process in enumerate(processes):
-            if process.pid != index:
-                raise ValueError(
-                    f"process at position {index} has pid {process.pid}; "
-                    "pids must equal list positions"
-                )
-            if process.n != n:
-                raise ValueError(
-                    f"process {process.pid} was built for n={process.n}, "
-                    f"but the network has n={n}"
-                )
+        self._core = ExecutionCore(processes, seed=seed, multicast=multicast)
+        n = self._core.n
         if t < 0 or t >= n:
             raise ValueError(f"fault budget t={t} must satisfy 0 <= t < n={n}")
 
-        self.processes = list(processes)
+        self.processes = self._core.processes
         self.n = n
         self.t = t
         self.seed = seed
         self.adversary = adversary if adversary is not None else Adversary()
         self.max_rounds = max_rounds
-        self.metrics = Metrics()
+        self.metrics = self._core.metrics
         self.faulty: set[int] = set()
         self.round = 0
         # Per-round delivery totals accumulated by _deliver so the
@@ -385,42 +302,22 @@ class SyncNetwork:
         self._delivered_bits = 0
         self._lost_bits = 0
         #: The observer bus.  The engine's own accounting comes first so
-        #: user observers read up-to-date Metrics series; the legacy
-        #: ``on_round`` callback (if any) runs last, at the old hook's
-        #: position (end of round) — :meth:`add_observer` keeps it pinned
-        #: there.
+        #: user observers read up-to-date Metrics series.
         self._observers: list[RoundObserver] = [MetricsObserver(self.metrics)]
         self._observers.extend(observers)
-        self._legacy_adapter: CallbackObserver | None = None
-        if on_round is not None:
-            warnings.warn(
-                "SyncNetwork(on_round=...) is deprecated; pass the callback "
-                "as a RoundObserver via observers=[...] or add_observer() "
-                "instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            self._legacy_adapter = CallbackObserver(on_round)
-            self._observers.append(self._legacy_adapter)
         #: Optional (round, seed): at the start of that round every
         #: process's random source is re-seeded from ``seed`` — the fork
         #: point used by rollout-based adversaries (future coins must be
         #: fresh, already-drawn coins must replay exactly).
         self._reseed_at = reseed_at
 
-        seeds = derive_seeds(seed, n, salt="process-randomness")
-        self.sources = [CountingRandom(s) for s in seeds]
-        self.envs = [
-            ProcessEnv(pid, n, self.sources[pid]) for pid in range(n)
-        ]
+        self.sources = self._core.sources
+        self.envs = self._core.envs
         #: Whether send_many/broadcast queue single Multicast records (the
         #: fast path) or expand eagerly into per-copy Messages (the legacy
         #: per-message path; byte-identical outcomes, kept for equivalence
         #: tests and benchmarking).
         self.multicast = multicast
-        if not multicast:
-            for env in self.envs:
-                env.expand_multicast = True
         #: Whether the communication phase runs vectorized over the
         #: columnar (numpy) batch layout — omissions as an index mask,
         #: terminated-recipient filtering as an index select, inboxes as a
@@ -428,6 +325,8 @@ class SyncNetwork:
         #: numpy availability; ``columnar=False`` keeps the legacy
         #: object-per-copy delivery loop (byte-identical outcomes, kept
         #: for differential testing, exactly like ``multicast=False``).
+        #: The flag is resolved here (against this module's ``HAVE_NUMPY``
+        #: knob) and embodied as the network's delivery backend.
         if columnar is None:
             columnar = HAVE_NUMPY
         elif columnar and not HAVE_NUMPY:
@@ -440,28 +339,25 @@ class SyncNetwork:
         # rounds (ProcessEnv.broadcast caches its fan-out tuple per
         # process, so the same tuple objects recur every round).
         self._fanout_cache: FanoutCache = {}
-        self._programs: list[Program | None] = [
-            process.program(self.envs[process.pid]) for process in self.processes
-        ]
-        self._inboxes: list[Sequence[Message]] = [[] for _ in range(n)]
+        self._backend = make_backend(columnar, self._fanout_cache)
+        # Aliases into the core: the core mutates these containers in
+        # place, so the historical attribute names keep working.
+        self._programs = self._core.programs
+        self._inboxes = self._core.inboxes
+
+        from .models import resolve_model
+
+        #: The scheduler layer driving :meth:`run` (see class docstring).
+        self.model = resolve_model(model, model_options)
 
     # ------------------------------------------------------------------
     def add_observer(self, observer: RoundObserver) -> SyncNetwork:
         """Attach a :class:`RoundObserver`; returns the network (chainable).
 
         Attach before :meth:`run` — observers joining mid-run would see a
-        partial hook sequence.  The legacy ``on_round`` adapter (if any)
-        stays pinned at the end of the bus, as documented: observers added
-        here run before it.
+        partial hook sequence.
         """
-        if (
-            self._legacy_adapter is not None
-            and self._observers
-            and self._observers[-1] is self._legacy_adapter
-        ):
-            self._observers.insert(len(self._observers) - 1, observer)
-        else:
-            self._observers.append(observer)
+        self._observers.append(observer)
         return self
 
     @property
@@ -472,38 +368,33 @@ class SyncNetwork:
 
     # ------------------------------------------------------------------
     @property
+    def core(self) -> ExecutionCore:
+        """The execution layer: process advancement and metering."""
+        return self._core
+
+    @property
     def live_count(self) -> int:
         """Number of processes whose programs have not returned yet."""
-        return sum(1 for program in self._programs if program is not None)
+        return self._core.live_count
 
     def terminated_set(self) -> frozenset[int]:
-        return frozenset(
-            pid for pid, program in enumerate(self._programs) if program is None
-        )
+        return self._core.terminated_set()
 
-    # ------------------------------------------------------------------
-    def _advance_processes(self) -> MessageBatch:
-        """Run the local-computation phase; collect the outbound batch."""
-        records: list[Message | Multicast] = []
-        for pid, program in enumerate(self._programs):
-            if program is None:
-                continue
-            env = self.envs[pid]
-            env.round = self.round
-            env.outbox = []
-            inbox = self._inboxes[pid]
-            self._inboxes[pid] = []
-            try:
-                if self.round == 0:
-                    next(program)
-                else:
-                    program.send(inbox)
-            except StopIteration:
-                self._programs[pid] = None
-            # Messages queued before a final ``return`` are still sent: the
-            # process completed its local computation phase this round.
-            records.extend(env.outbox)
-        return MessageBatch(records)
+    @property
+    def in_flight_messages(self) -> int:
+        """Messages sent but not yet delivered, omitted, or lost.
+
+        Always zero under the lockstep model; non-zero mid-run under
+        models with cross-round latency (the conservation invariant then
+        reads ``sent == delivered + omitted + lost + in_flight``).
+        """
+        return self.model.in_flight_count
+
+    def maybe_reseed(self) -> None:
+        """Honour a pending ``reseed_at`` fork point for the current round."""
+        if self._reseed_at is not None and self.round == self._reseed_at[0]:
+            self._core.reseed(self._reseed_at[1])
+            self._reseed_at = None
 
     def _apply_adversary(self, batch: MessageBatch) -> tuple[int, ...]:
         """Communication phase: let the adversary corrupt and omit.
@@ -540,42 +431,12 @@ class SyncNetwork:
 
         omit = canonical_omissions(action.omit)
         if omit:
-            total = len(batch)
-            faulty = self.faulty
-            if self.columnar and total:
-                offender = first_illegal_omission(
-                    batch.columns(self._fanout_cache),
-                    omit,
-                    frozenset(faulty),
-                )
-                if offender is not None:
-                    kind, index, sender, recipient = offender
-                    if kind == "range":
-                        raise AdversaryProtocolError(
-                            f"omit index {index} out of range "
-                            f"({total} messages this round)"
-                        )
-                    raise AdversaryProtocolError(
-                        "omissions are only allowed on messages to/from "
-                        f"faulty processes; message {sender}->{recipient} "
-                        "touches none"
-                    )
-            else:
-                # Canonical order means an illegal schedule always names
-                # the *same* offending index as the vectorized check.
-                for index in omit:
-                    if not 0 <= index < total:
-                        raise AdversaryProtocolError(
-                            f"omit index {index} out of range "
-                            f"({total} messages this round)"
-                        )
-                    sender, recipient = batch.endpoints_at(index)
-                    if sender not in faulty and recipient not in faulty:
-                        raise AdversaryProtocolError(
-                            "omissions are only allowed on messages to/from "
-                            f"faulty processes; message {sender}->{recipient} "
-                            "touches none"
-                        )
+            # Legality is delegated to the delivery backend (the layer
+            # that understands the batch representation); canonical order
+            # means every backend names the *same* offending index.
+            self._backend.validate_omissions(
+                batch, omit, frozenset(self.faulty)
+            )
         canonical = AdversaryAction(
             corrupt=frozenset(action.corrupt), omit=frozenset(omit)
         )
@@ -584,141 +445,35 @@ class SyncNetwork:
         return omit
 
     def _deliver(self, batch: MessageBatch, omitted: Sequence[int]) -> None:
-        """Place surviving copies into inboxes, in sender-sorted order.
+        """One delivery step: backend placement plus observer dispatch.
 
-        Engine-built batches are already in ascending-sender order (the
-        local-computation phase advances processes in pid order), so the
-        legacy per-round sender bucketing reduces to a straight scan; a
-        stable record sort restores the invariant for hand-built outboxes.
-        Multicast records materialize one :class:`Message` view per
-        surviving copy here — the only place the fan-out is expanded on
-        the object path.
-
-        Metering precedence is the engine-wide rule pinned in
-        :mod:`repro.runtime.metrics`: the omission check runs *before* the
-        recipient-liveness check, so a copy that is both adversary-omitted
-        and addressed to a terminated recipient counts as omitted, never
-        as lost — ``sent = delivered + omitted + lost`` holds exactly,
-        every round, on every engine path.
+        The batch-to-inbox mechanics live in the network's
+        :class:`~repro.runtime.delivery.DeliveryBackend`; this method adds
+        the engine-side bookkeeping — the accumulated bit totals the
+        :class:`~repro.runtime.observers.MetricsObserver` reads without a
+        second O(copies) pass, and the ``on_deliveries`` hook.
         """
-        if self.columnar and batch.sender_sorted:
-            self._deliver_columnar(batch, omitted)
-            return
-        omitted_set = set(omitted)
-        delivered: list[Message] = []
-        lost: list[Message] = []
-        delivered_bits = 0
-        lost_bits = 0
-        programs = self._programs
-        # On the object path every inbox slot holds a plain list (reset by
-        # _advance_processes); the Sequence-typed slot only widens for the
-        # columnar path's lazy views.
-        inboxes = cast("list[list[Message]]", self._inboxes)
-        delivered_append = delivered.append
-        make_message = Message
-
-        if batch.sender_sorted:
-            pairs = zip(batch.records, batch.offsets)
-        else:
-            pairs = sorted(
-                zip(batch.records, batch.offsets),
-                key=lambda pair: pair[0].sender,
-            )
-        # Fast path: nothing omitted and every recipient still live — the
-        # overwhelmingly common round shape.
-        clean = not omitted_set and self.live_count == self.n
-
-        for record, base in pairs:
-            if type(record) is Multicast:
-                sender = record.sender
-                payload = record.payload
-                bits = record.bits
-                recipients = record.recipients
-                if clean:
-                    copies = [
-                        make_message(sender, recipient, payload, bits)
-                        for recipient in recipients
-                    ]
-                    for message, recipient in zip(copies, recipients):
-                        inboxes[recipient].append(message)
-                    delivered.extend(copies)
-                    delivered_bits += bits * len(recipients)
-                    continue
-                for position, recipient in enumerate(recipients):
-                    if base + position in omitted_set:
-                        # Omitted wins over lost: skipped before the
-                        # liveness check (see repro.runtime.metrics).
-                        continue
-                    message = make_message(sender, recipient, payload, bits)
-                    if programs[recipient] is None:
-                        # Recipient already terminated; the message is lost
-                        # and counts in neither delivered counter.
-                        lost.append(message)
-                        lost_bits += bits
-                    else:
-                        inboxes[recipient].append(message)
-                        delivered_append(message)
-                        delivered_bits += bits
-            else:
-                if not clean:
-                    if base in omitted_set:
-                        continue
-                    if programs[record.recipient] is None:
-                        lost.append(record)
-                        lost_bits += record.bits
-                        continue
-                inboxes[record.recipient].append(record)
-                delivered_append(record)
-                delivered_bits += record.bits
-
-        # Totals the MetricsObserver picks up without a second O(copies)
-        # pass; other observers still see plain message lists.
-        self._delivered_bits = delivered_bits
-        self._lost_bits = lost_bits
-        for observer in self._observers:
-            observer.on_deliveries(self.round, delivered, lost, self)
-
-    def _deliver_columnar(
-        self, batch: MessageBatch, omitted: Sequence[int]
-    ) -> None:
-        """Vectorized communication phase over the columnar batch layout.
-
-        One :func:`repro.runtime.columnar.plan_delivery` call replaces the
-        per-copy Python loop: inboxes become lazy
-        :class:`~repro.runtime.columnar.LazyMessageList` views that
-        materialize :class:`Message` objects only when a program or
-        observer actually reads them.  Flat-index order, metering
-        precedence (omitted wins over lost — see
-        :mod:`repro.runtime.metrics`), and every observer-visible sequence
-        are identical to the object path.
-        """
-        plan = plan_delivery(
-            batch.columns(self._fanout_cache),
-            omitted,
-            (
-                None
-                if self.live_count == self.n
-                else [program is not None for program in self._programs]
-            ),
+        receipt = self._backend.deliver(
+            batch, omitted, self._inboxes, self._core.live_mask()
         )
-        inboxes = self._inboxes
-        for recipient, view in plan.inboxes:
-            inboxes[recipient] = view
-        self._delivered_bits = plan.delivered_bits
-        self._lost_bits = plan.lost_bits
+        self._delivered_bits = receipt.delivered_bits
+        self._lost_bits = receipt.lost_bits
         for observer in self._observers:
             observer.on_deliveries(
-                self.round, plan.delivered, plan.lost, self
+                self.round, receipt.delivered, receipt.lost, self
             )
 
     def current_decisions(self) -> dict[int, Any]:
-        return {
-            env.pid: env.decision for env in self.envs if env.has_decided
-        }
+        return self._core.current_decisions()
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
-        """Run rounds until every process terminates (or max_rounds)."""
+        """Run rounds until every process terminates (or max_rounds).
+
+        The network brackets the run (adversary setup, ``on_run_start``,
+        result assembly, ``on_run_end``); the round loop itself belongs to
+        the configured :class:`~repro.runtime.models.RoundModel`.
+        """
         observers = self._observers
         setup_adversary(
             self.adversary,
@@ -731,57 +486,11 @@ class SyncNetwork:
         )
         for observer in observers:
             observer.on_run_start(self)
-        while self.live_count > 0:
-            if (
-                self._reseed_at is not None
-                and self.round == self._reseed_at[0]
-            ):
-                fork_seeds = derive_seeds(
-                    self._reseed_at[1], self.n, salt="fork"
-                )
-                for source, fork_seed in zip(self.sources, fork_seeds):
-                    source.reseed(fork_seed)
-                self._reseed_at = None
-            if self.round >= self.max_rounds:
-                raise LockstepError(
-                    f"protocol did not terminate within {self.max_rounds} "
-                    f"rounds; {self.live_count} processes still live"
-                )
-            for observer in observers:
-                observer.on_round_start(self.round, self)
-            outbound = self._advance_processes()
-            if self.live_count == 0 and not outbound:
-                # A terminal local-computation phase with no traffic is not
-                # a round: observers see the unmatched on_round_start.
-                break
-            for observer in observers:
-                observer.on_messages_sent(self.round, outbound, self)
-            omitted = self._apply_adversary(outbound)
-            self._deliver(outbound, omitted)
-            for observer in observers:
-                observer.on_round_end(self.round, self)
-            self.round += 1
 
-        self.metrics.record_randomness(
-            sum(source.calls for source in self.sources),
-            sum(source.bits_drawn for source in self.sources),
-        )
-        result = ExecutionResult(
-            n=self.n,
-            decisions=self.current_decisions(),
-            metrics=self.metrics,
-            faulty=frozenset(self.faulty),
-            all_terminated=all(env.has_decided for env in self.envs),
-            rounds=self.metrics.rounds,
-            randomness_per_process=[
-                (source.calls, source.bits_drawn) for source in self.sources
-            ],
-            decision_rounds={
-                env.pid: env.decision_round
-                for env in self.envs
-                if env.decision_round is not None
-            },
-        )
+        self.model.run_rounds(self)
+
+        self._core.record_randomness()
+        result = self._core.build_result(frozenset(self.faulty))
         for observer in observers:
             observer.on_run_end(result, self)
         return result

@@ -23,7 +23,7 @@ built-in observers.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 from typing import TYPE_CHECKING, Any
 
 from .messages import Message, MessageBatch
@@ -136,18 +136,6 @@ class MetricsObserver(RoundObserver):
             if lost_bits is None:
                 lost_bits = sum(message.bits for message in lost)
             self.metrics.record_lost(len(lost), lost_bits)
-
-
-class CallbackObserver(RoundObserver):
-    """Adapter for the legacy ``on_round`` callback of :class:`SyncNetwork`."""
-
-    def __init__(
-        self, callback: Callable[[int, "SyncNetwork"], None]
-    ) -> None:
-        self.callback = callback
-
-    def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
-        self.callback(round_no, network)
 
 
 class RoundProfiler(RoundObserver):

@@ -202,7 +202,7 @@ class TestCapToBudgetBoundaries:
 
 
 class TestSetupMigration:
-    """The AdversaryContext lifecycle hook and its legacy adapter."""
+    """The AdversaryContext lifecycle hook (the legacy 3-arg adapter is gone)."""
 
     def test_in_repo_strategies_do_not_warn(self):
         import warnings
@@ -212,22 +212,20 @@ class TestSetupMigration:
             run_babble(6, RandomOmissionAdversary(0.5, seed=1), t=2)
             run_babble(6, VoteBalancingAdversary(seed=1), t=2)
 
-    def test_legacy_three_argument_setup_adapted_with_warning(self):
-        import pytest
+    def test_setup_receives_a_context_not_positional_args(self):
+        from repro.runtime import Adversary, AdversaryContext
 
-        from repro.runtime import Adversary
-
-        class Legacy(Adversary):
+        class Recorder(Adversary):
             def __init__(self):
                 self.saw = None
 
-            def setup(self, n, t, processes):  # repro-lint: disable=REP004
-                self.saw = (n, t, len(processes))
+            def setup(self, ctx):
+                assert isinstance(ctx, AdversaryContext)
+                self.saw = (ctx.n, ctx.t, len(ctx.processes))
 
-        legacy = Legacy()
-        with pytest.warns(DeprecationWarning, match="AdversaryContext"):
-            result, _ = run_babble(6, legacy, t=2)
-        assert legacy.saw == (6, 2, 6)
+        recorder = Recorder()
+        result, _ = run_babble(6, recorder, t=2)
+        assert recorder.saw == (6, 2, 6)
         assert result.all_terminated
 
     def test_context_carries_seeded_rng(self):

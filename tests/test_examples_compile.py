@@ -2,12 +2,14 @@
 
 Full example runs take minutes (they execute many consensus instances), so
 CI-speed coverage is: byte-compile each script and verify every module it
-imports from ``repro`` resolves.
+imports from ``repro`` resolves.  The quickstart is the exception — it is
+the first thing a reader runs, so it executes end-to-end here.
 """
 
 import ast
 import importlib
 import py_compile
+import runpy
 from pathlib import Path
 
 import pytest
@@ -48,6 +50,19 @@ def test_example_repro_imports_resolve(script):
             assert hasattr(module, name), (
                 f"{script.name}: {module_name} has no attribute {name}"
             )
+
+
+def test_quickstart_executes(capsys):
+    """The quickstart runs end-to-end, not merely compiles.
+
+    Asserts the run's actual claims: a decision is reached under the
+    silence adversary, and a unanimous system decides its common input
+    while drawing zero random bits (the paper's validity argument).
+    """
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "decision             : 0" in out
+    assert "decision=1, random bits=0" in out
 
 
 def test_every_example_has_a_main():

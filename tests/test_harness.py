@@ -130,7 +130,8 @@ def test_execution_request_is_read_only_mapping():
 
 
 # ---------------------------------------------------------------------------
-# ConsensusRun tuple compatibility for the baseline runners.
+# Baseline runners return ConsensusRun objects with named fields only —
+# the tuple protocol was removed after its deprecation window.
 def test_baseline_runners_return_consensus_runs():
     runs = {
         "ben-or": run_ben_or(mixed(8), seed=3),
@@ -141,13 +142,13 @@ def test_baseline_runners_return_consensus_runs():
     }
     for name, run in runs.items():
         assert isinstance(run, ConsensusRun), name
-        with pytest.warns(DeprecationWarning):
-            result, processes = run  # tuple unpacking preserved
-        assert result is run.result and processes is run.processes, name
-        with pytest.warns(DeprecationWarning):
-            assert run[0] is run.result and run[1] is run.processes, name
-        assert len(run) == 2, name
-        assert len(processes) == run.result.n, name
+        assert len(run.processes) == run.result.n, name
+        # The tuple shims are gone: a ConsensusRun is not iterable or
+        # indexable, so stale `result, procs = run_*(...)` code fails fast.
+        with pytest.raises(TypeError):
+            iter(run)
+        with pytest.raises(TypeError):
+            run[0]
 
 
 def test_trb_indexing_and_decision():

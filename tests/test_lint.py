@@ -333,6 +333,48 @@ class TestRep007:
 
 
 # ---------------------------------------------------------------------------
+# REP008 — direct engine construction outside harness/designated fixtures
+class TestRep008:
+    def test_library_construction_flagged(self):
+        src = "network = SyncNetwork(processes, t=1, seed=0)\n"
+        assert codes(
+            lint_source(src, "src/repro/analysis/tool.py")
+        ) == ["REP008"]
+
+    def test_example_construction_flagged(self):
+        src = "net = SyncNetwork(procs)\nnet.run()\n"
+        assert codes(lint_source(src, "examples/demo.py")) == ["REP008"]
+
+    def test_dotted_construction_flagged(self):
+        src = "net = repro.runtime.SyncNetwork(procs)\n"
+        assert codes(lint_source(src, "src/repro/analysis/x.py")) == ["REP008"]
+
+    def test_harness_is_designated_fixture(self):
+        src = "network = SyncNetwork(processes, t=budget)\n"
+        assert lint_source(src, "src/repro/harness/registry.py") == []
+
+    def test_runtime_package_is_designated_fixture(self):
+        src = "network = SyncNetwork(processes)\n"
+        assert lint_source(src, "src/repro/runtime/trace.py") == []
+
+    def test_tests_and_benchmarks_are_designated_fixtures(self):
+        src = "network = SyncNetwork(processes)\n"
+        assert lint_source(src, "tests/test_network.py") == []
+        assert lint_source(src, "benchmarks/bench_engine.py") == []
+
+    def test_pragma_designates_a_fixture(self):
+        src = (
+            "network = SyncNetwork(processes)"
+            "  # repro-lint: disable=REP008\n"
+        )
+        assert lint_source(src, "src/repro/analysis/tool.py") == []
+
+    def test_execute_call_clean(self):
+        src = "run = execute('ben-or', inputs, model='partial-synchrony')\n"
+        assert lint_source(src, "src/repro/analysis/tool.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 class TestPragmas:
     def test_line_pragma_suppresses_named_rule(self):
@@ -498,7 +540,10 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for code in (
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007", "REP008",
+        ):
             assert code in out
 
 

@@ -118,21 +118,8 @@ def test_add_observer_is_chainable_and_listed():
     assert log.calls[0] == ("run_start",)
 
 
-def test_legacy_on_round_callback_still_fires_and_warns():
-    seen = []
-    with pytest.warns(DeprecationWarning):
-        network = SyncNetwork(
-            [PingPong(pid, 2) for pid in range(2)],
-            on_round=lambda round_no, net: seen.append(round_no),  # repro-lint: disable=REP004
-        )
-    result = network.run()
-    assert seen == list(range(result.metrics.rounds))
-
-
-def test_legacy_on_round_adapter_stays_last():
-    """The documented contract: the constructor's ``on_round`` callback
-    runs at the end of the round, after every observer — including ones
-    attached later via ``add_observer``."""
+def test_observer_order_follows_attachment_order():
+    """Constructor observers run before ones attached via add_observer."""
     order = []
 
     class Tail(RoundObserver):
@@ -142,17 +129,14 @@ def test_legacy_on_round_adapter_stays_last():
         def on_round_end(self, round_no, network):
             order.append(self.tag)
 
-    with pytest.warns(DeprecationWarning):
-        network = SyncNetwork(
-            [PingPong(pid, 2) for pid in range(2)],
-            on_round=lambda round_no, net: order.append("legacy"),  # repro-lint: disable=REP004
-            observers=[Tail("constructor")],
-        )
+    network = SyncNetwork(
+        [PingPong(pid, 2) for pid in range(2)],
+        observers=[Tail("constructor")],
+    )
     network.add_observer(Tail("added"))
-    assert network.observers[-1] is network._legacy_adapter
     network.run()
     rounds = network.metrics.rounds
-    assert order == ["constructor", "added", "legacy"] * rounds
+    assert order == ["constructor", "added"] * rounds
 
 
 # ---------------------------------------------------------------------------
