@@ -1,0 +1,62 @@
+"""E-CC — the content-addressed cell cache: warm re-runs cost ~nothing.
+
+The acceptance bar for the fabric cache: a warm re-run of a sweep serves
+100% of its cells from the store and finishes at least an order of
+magnitude faster than the cold run that populated it — while producing
+byte-identical records.
+"""
+
+import json
+import time
+
+from conftest import print_series
+
+from repro.analysis.campaign import CampaignSpec, run_campaign
+from repro.fabric import CampaignCache
+
+SPEC = CampaignSpec(
+    name="bench-fabric-cache",
+    protocol="algorithm1",
+    ns=[33, 48, 64],
+    adversaries=["none", "silence"],
+    seeds=[0, 1],
+)
+
+
+def test_warm_cache_speedup(benchmark, tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    start = time.perf_counter()
+    cold = run_campaign(SPEC, cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    warm_cache = CampaignCache(tmp_path / "cache")
+    computed = []
+
+    def warm_run():
+        return run_campaign(
+            SPEC, cache=warm_cache, on_record=computed.append
+        )
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+
+    cells = len(cold)
+    assert computed == []  # 100% of cells served from the cache
+    assert warm_cache.stats.hits == cells
+    assert json.dumps(warm, sort_keys=True) == json.dumps(
+        cold, sort_keys=True
+    )
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 10.0, (
+        f"warm cache run only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s)"
+    )
+    print_series(
+        f"content-addressed cache: {cells} cells, warm {speedup:.0f}x cold",
+        ["pass", "seconds", "computed", "served from cache"],
+        [
+            ["cold", f"{cold_seconds:.3f}", cells, 0],
+            ["warm", f"{warm_seconds:.3f}", 0, cells],
+        ],
+    )

@@ -14,6 +14,7 @@ from .experiments import (
     no_adversary,
     silence_adversary,
 )
+from ..fabric import CampaignCache, CellId
 from .campaign import (
     CampaignSpec,
     append_journal_record,
@@ -61,7 +62,9 @@ __all__ = [
     "Table1Row",
     "render_table",
     "table1",
+    "CampaignCache",
     "CampaignSpec",
+    "CellId",
     "append_journal_record",
     "load_campaign",
     "load_journal",

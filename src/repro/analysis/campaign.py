@@ -1,11 +1,13 @@
-"""Batch experiment campaigns: parallel grid sweeps with crash-safe resume.
+"""Batch experiment campaigns: cached, sharded grid sweeps with resume.
 
-For overnight parameter studies: declare a grid over (protocol, n,
-adversary, seeds), run it — optionally across a ``multiprocessing`` worker
-pool — and persist one JSON record per run, so the analysis can happen
-offline and re-runs can resume where they stopped.
+For parameter studies at any scale: declare a grid over (protocol, n,
+adversary, seeds) as a :class:`CampaignSpec`, run it across a
+work-stealing worker fabric, and serve every previously computed cell
+from a content-addressed cache, so re-runs — across campaigns, CLI
+invocations, or hosts — recompute only misses.
 
-A campaign *spec* is data, not code::
+A campaign *spec* is data, not code, and it is the single public entry
+point::
 
     spec = CampaignSpec(
         name="scaling-study",
@@ -15,32 +17,42 @@ A campaign *spec* is data, not code::
         seeds=[0, 1, 2],
         options={"x": 4},                 # protocol-specific extras
     )
-    records = run_campaign(spec, jobs=4, journal="scaling-study.jsonl")
+    records = run_campaign(
+        spec, jobs=4, cache="~/.cache/repro-cells",
+        journal="scaling-study.jsonl",
+    )
     save_campaign(records, "scaling-study.json")
 
-Two persistence layers:
+Every cell is identified by a :class:`repro.fabric.CellId` — the canonical
+digest of ``(protocol, n, t, adversary, seed, options, model,
+model_options, engine capability)`` — which is the journal resume
+identity, the cache key, and the report grouping handle all at once.
 
+Three persistence layers:
+
+* the **cache** (``cache=``, a :class:`repro.fabric.CampaignCache` or a
+  directory path) stores each finished cell under its content digest;
+  any later campaign touching the same cell is served from it instantly;
 * the **journal** (append-only JSONL, one record per line) is written as
-  each cell finishes, flushed and fsynced, so a crashed or interrupted
+  each cell is computed, flushed and fsynced, so a crashed or interrupted
   sweep resumes from disk via ``load_journal`` — only missing cells re-run;
 * ``save_campaign`` writes the conventional pretty JSON array once the
   whole grid is done.
 
 Grid cells are pure functions of the spec and their (n, adversary, seed)
-coordinates — each worker reruns the cell from its seeds — so a parallel
-run produces records identical to a serial one, merely finishing in a
-different wall-clock order.  ``run_campaign`` always returns records in
-grid order regardless of completion order.
+coordinates — each worker reruns the cell from its seeds — so a parallel,
+stolen, or cached run produces records identical to a serial one, merely
+finishing sooner.  ``run_campaign`` always returns records in grid order
+regardless of completion order.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..adversary import (
@@ -48,14 +60,30 @@ from ..adversary import (
     SilenceAdversary,
     VoteBalancingAdversary,
 )
+from ..fabric import (
+    CampaignCache,
+    CellId,
+    CellTask,
+    DirectoryClaims,
+    FabricDispatcher,
+    await_cells,
+    estimated_cost,
+    open_cache,
+)
 from ..harness import (
     RoundProfiler,
     TraceRecorder,
     available_protocols,
+    capability_fingerprint,
     execute,
     protocol_spec,
 )
 from ..params import ProtocolParams
+from ._journal import (
+    append_journal_record,
+    load_journal_records,
+    repair_journal,
+)
 from .experiments import mixed_inputs
 
 ADVERSARY_FACTORIES = {
@@ -70,29 +98,20 @@ ADVERSARY_FACTORIES = {
 CAPTURES = ("trace", "profile")
 
 
-def _options_key(options: dict[str, Any]) -> str:
-    """Canonical string form of a spec's options, for cell identity."""
-    return json.dumps(options, sort_keys=True, separators=(",", ":"))
-
-
-def record_cell_key(record: dict[str, Any]) -> tuple:
+def record_cell_key(record: Mapping[str, Any]) -> CellId:
     """The identity under which a finished record can satisfy a grid cell.
 
-    Includes the options (e.g. the tradeoff ``x``): two sweeps that differ
-    only in options must never silently reuse each other's records.
-    Records written before options were stored count as empty options;
-    records written before the execution-model axis count as the default
-    model (``None``), so legacy journals still satisfy legacy specs while
-    a partial-synchrony sweep never reuses lockstep records.
+    Returns the record's :class:`CellId` — including the options (e.g.
+    the tradeoff ``x``), the execution model, and the engine capability
+    fingerprint: two sweeps that differ in any identity component must
+    never silently reuse each other's records.  Historical journal shapes
+    are honoured (see :meth:`CellId.from_record`).  Raises ``KeyError``
+    when the mapping is not a cell record.
     """
-    return (
-        record["protocol"],
-        record["n"],
-        record["adversary"],
-        record["seed"],
-        _options_key(record.get("options", {})),
-        record.get("model"),
-    )
+    cell = CellId.from_record(record)
+    if cell is None:
+        raise KeyError(f"not a cell record: {sorted(record)}")
+    return cell
 
 
 @dataclass(frozen=True)
@@ -116,6 +135,9 @@ class CampaignSpec:
     #: Execution-model axis: a registered round-model name, or ``None``
     #: for the environment default.  Part of cell identity when set.
     model: str | None = None
+    #: Options forwarded to the round-model constructor (e.g. ``gst``);
+    #: part of cell identity, valid only with an explicit ``model``.
+    model_options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         sweepable = available_protocols(sweepable=True)
@@ -131,6 +153,8 @@ class CampaignSpec:
                     f"unknown execution model {self.model!r}; choose from "
                     f"{available_models()}"
                 )
+        elif self.model_options:
+            raise ValueError("model_options requires an explicit model")
         unknown = set(self.adversaries) - set(ADVERSARY_FACTORIES)
         if unknown:
             raise ValueError(
@@ -152,16 +176,23 @@ class CampaignSpec:
                 for seed in self.seeds:
                     yield n, adversary, seed
 
-    def cell_key(self, n: int, adversary: str, seed: int) -> tuple:
-        """Identity of one cell — must match :func:`record_cell_key`."""
-        return (
-            self.protocol,
-            n,
-            adversary,
-            seed,
-            _options_key(self.options),
-            self.model,
+    def cell_id(self, n: int, adversary: str, seed: int) -> CellId:
+        """Canonical identity of one cell — matches :func:`record_cell_key`."""
+        protocol = protocol_spec(self.protocol)
+        return CellId.make(
+            protocol=self.protocol,
+            n=n,
+            t=protocol.campaign_t(n, ProtocolParams.practical()),
+            adversary=adversary,
+            seed=seed,
+            options=self.options,
+            model=self.model,
+            model_options=self.model_options,
         )
+
+    def cell_key(self, n: int, adversary: str, seed: int) -> CellId:
+        """Legacy name for :meth:`cell_id` (kept one deprecation cycle)."""
+        return self.cell_id(n, adversary, seed)
 
 
 def _run_cell(
@@ -170,7 +201,8 @@ def _run_cell(
     adversary_name: str,
     seed: int,
     record_failures: str | None = None,
-) -> dict[str, Any]:
+) -> tuple[dict[str, Any], dict[str, Any] | None]:
+    """Execute one cell; returns ``(record, failure_recipe_payload)``."""
     protocol = protocol_spec(spec.protocol)
     params = ProtocolParams.practical()
     t = protocol.campaign_t(n, params)
@@ -186,11 +218,13 @@ def _run_cell(
         profiler = RoundProfiler()
         observers.append(profiler)
 
+    model_options = spec.model_options if spec.model_options else None
     # t stays None: every spec's build resolves the same default budget the
     # adversary above was constructed with (the tradeoff intentionally keeps
     # its own halved internal budget while the record carries campaign_t).
     if record_failures is not None:
         from ..replay import record as record_run, save_recipe
+        from ..replay.recipe import recipe_payload
 
         recorded = record_run(
             spec.protocol,
@@ -201,6 +235,7 @@ def _run_cell(
             observers=observers,
             options=spec.options,
             model=spec.model,
+            model_options=model_options,
             note=(
                 f"campaign {spec.name}: n={n} "
                 f"adversary={adversary_name} seed={seed}"
@@ -219,6 +254,7 @@ def _run_cell(
                 "adversary": adversary_name,
                 "seed": seed,
                 "options": dict(spec.options),
+                "engine": capability_fingerprint(),
                 "failed": True,
                 "invariant": recorded.recipe.expected_failure["invariant"],
                 "error": str(recorded.failure),
@@ -226,7 +262,11 @@ def _run_cell(
             }
             if spec.model is not None:
                 failed_record["model"] = spec.model
-            return failed_record
+                if spec.model_options:
+                    failed_record["model_options"] = dict(spec.model_options)
+            # The recipe itself rides along so the failure lands in the
+            # cache as a self-contained, replayable artifact.
+            return failed_record, recipe_payload(recorded.recipe)
         run = recorded.run
     else:
         run = execute(
@@ -238,6 +278,7 @@ def _run_cell(
             observers=observers,
             options=spec.options,
             model=spec.model,
+            model_options=model_options,
         )
 
     metrics = run.metrics
@@ -249,6 +290,7 @@ def _run_cell(
         "adversary": adversary_name,
         "seed": seed,
         "options": dict(spec.options),
+        "engine": capability_fingerprint(),
         "decision": run.decision,
         "rounds": run.result.time_to_agreement(),
         "messages": metrics.messages_sent,
@@ -261,9 +303,11 @@ def _run_cell(
         ),
     }
     if spec.model is not None:
-        # Only model-pinned sweeps carry the key, so records written by
+        # Only model-pinned sweeps carry the keys, so records written by
         # legacy specs keep their exact journal identity.
         record["model"] = spec.model
+        if spec.model_options:
+            record["model_options"] = dict(spec.model_options)
     if protocol.record_extras is not None:
         record.update(protocol.record_extras(run, run.request))
     if recorder is not None:
@@ -282,186 +326,241 @@ def _run_cell(
         }
     if profiler is not None:
         record["profile"] = profiler.summary()
-    return record
+    return record, None
 
 
 def _run_cell_task(
     task: tuple[CampaignSpec, int, str, int, str | None]
-) -> tuple[tuple[int, str, int], dict[str, Any]]:
+) -> tuple[
+    tuple[int, str, int], dict[str, Any], dict[str, Any] | None
+]:
     """Worker entry point: run one cell, echo its grid coordinates back."""
     spec, n, adversary, seed, record_failures = task
-    return (n, adversary, seed), _run_cell(
-        spec, n, adversary, seed, record_failures
-    )
+    record, recipe = _run_cell(spec, n, adversary, seed, record_failures)
+    return (n, adversary, seed), record, recipe
 
 
-def _start_method() -> str:
-    """Prefer ``fork`` (cheap, inherits sys.path) where available."""
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
-
-
-def append_journal_record(path: str | Path, record: dict[str, Any]) -> None:
-    """Append one record to a JSONL journal, flushed and fsynced.
-
-    Each record is a single ``sort_keys`` JSON line, so the journal is both
-    greppable and byte-stable for a given record content.  The journal is
-    checked for a crash-truncated tail first (:func:`repair_journal`), so a
-    new record can never be merged into a partial line left by a crash
-    mid-append.
-    """
-    line = json.dumps(record, sort_keys=True)
-    repair_journal(path)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-
-
-def repair_journal(path: str | Path) -> bytes:
-    """Quarantine a crash-truncated journal tail; returns the bytes removed.
-
-    A crash mid-append (despite the fsync-per-record discipline, a record
-    write is not atomic at the OS level) can leave the final line without
-    its terminating newline — possibly cut mid-record or even mid UTF-8
-    character.  Appending to such a journal would merge the next record
-    into the partial line, corrupting both.  This restores the invariant
-    that every journal byte belongs to a newline-terminated line:
-
-    * a tail that is a complete JSON record merely missing its newline is
-      terminated in place (nothing is lost);
-    * a genuinely truncated tail is cut from the journal and appended to a
-      ``<name>.quarantine`` sidecar next to it, so no bytes are silently
-      destroyed; the function returns them (``b""`` when the journal was
-      already clean, empty, or absent).
-    """
-    journal = Path(path)
-    try:
-        with open(journal, "rb") as handle:
-            size = handle.seek(0, os.SEEK_END)
-            if size == 0:
-                return b""
-            handle.seek(-1, os.SEEK_END)
-            if handle.read(1) == b"\n":
-                return b""
-            # Dirty tail: only now pay for reading the whole journal.
-            handle.seek(0)
-            data = handle.read()
-    except FileNotFoundError:
-        return b""
-    cut = data.rfind(b"\n") + 1  # 0 when no complete line exists at all
-    tail = data[cut:]
-    try:
-        json.loads(tail.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError):
-        quarantine = journal.with_name(journal.name + ".quarantine")
-        with open(quarantine, "ab") as handle:
-            handle.write(tail + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        with open(journal, "r+b") as handle:
-            handle.truncate(cut)
-            handle.flush()
-            os.fsync(handle.fileno())
-        return tail
-    # The record survived intact; only its newline went missing.
-    with open(journal, "ab") as handle:
-        handle.write(b"\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    return b""
-
-
-def load_journal(path: str | Path) -> list[dict[str, Any]]:
+def load_journal(
+    path: str | Path, dedupe: bool = True
+) -> list[dict[str, Any]]:
     """Read records from a JSONL journal written by the campaign runner.
 
     Crash-tolerant: the journal is read as bytes and every line is decoded
     and parsed independently, so a final line truncated mid-append — at
     any byte offset, including the middle of a multi-byte UTF-8 character —
-    is skipped rather than fatal, and ``--resume`` always works.  The
-    skipped cell simply re-runs.  :func:`repair_journal` (invoked by every
-    append) is what moves such a tail into the quarantine sidecar.
+    is skipped rather than fatal, and resume always works.  The skipped
+    cell simply re-runs.  :func:`repair_journal` (invoked by every append)
+    is what moves such a tail into the quarantine sidecar.
+
+    ``dedupe`` (the default) merges cells that were appended more than
+    once — e.g. a sweep re-run under a different ``jobs`` count after a
+    partial resume — by **latest-write-wins** on :class:`CellId`: the
+    surviving record is the last one appended, at the position of the
+    first.  Lines that are not cell records are kept verbatim.  Pass
+    ``dedupe=False`` for the raw line-by-line view.
     """
-    records: list[dict[str, Any]] = []
-    for line in Path(path).read_bytes().split(b"\n"):
-        line = line.strip()
-        if not line:
-            continue
+    records = load_journal_records(path)
+    if not dedupe:
+        return records
+    merged: dict[object, dict[str, Any]] = {}
+    for index, record in enumerate(records):
+        cell = CellId.from_record(record)
+        key: object = cell if cell is not None else ("__line__", index)
+        merged[key] = record  # latest write wins, first-seen position kept
+    return list(merged.values())
+
+
+def _coerce_spec(
+    spec: CampaignSpec | str | None, grid_kwargs: dict[str, Any]
+) -> CampaignSpec:
+    """Accept a spec, or (one deprecation cycle) loose grid keywords."""
+    if isinstance(spec, CampaignSpec):
+        if grid_kwargs:
+            raise TypeError(
+                "run_campaign got both a CampaignSpec and loose grid "
+                f"keywords {sorted(grid_kwargs)}; put everything in the spec"
+            )
+        return spec
+    if spec is None and not grid_kwargs:
+        raise TypeError("run_campaign needs a CampaignSpec")
+    warnings.warn(
+        "passing loose grid keywords to run_campaign is deprecated; "
+        "construct a CampaignSpec and pass it as the single positional "
+        "argument (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if isinstance(spec, str):
+        return CampaignSpec(name=spec, **grid_kwargs)
+    return CampaignSpec(**grid_kwargs)
+
+
+def _resolve_resume(
+    resume: Sequence[Mapping[str, Any]] | str | Path | None,
+    resume_from: Sequence[Mapping[str, Any]] | None,
+) -> list[dict[str, Any]]:
+    """Normalize the two resume spellings into a record list."""
+    records: list[dict[str, Any]] = list(resume_from or ())
+    if resume is None:
+        return records
+    if isinstance(resume, (str, Path)):
         try:
-            records.append(json.loads(line.decode("utf-8")))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            continue
+            records.extend(load_journal(resume))
+        except FileNotFoundError:
+            pass
+        return records
+    records.extend(resume)
     return records
 
 
 def run_campaign(
-    spec: CampaignSpec,
-    resume_from: Sequence[dict[str, Any]] = (),
+    spec: CampaignSpec | None = None,
+    resume_from: Sequence[Mapping[str, Any]] | None = None,
     jobs: int = 1,
     journal: str | Path | None = None,
     on_record: Callable[[dict[str, Any]], None] | None = None,
     record_failures: str | Path | None = None,
+    *,
+    cache: CampaignCache | str | Path | None = None,
+    resume: Sequence[Mapping[str, Any]] | str | Path | None = None,
+    claims: DirectoryClaims | None = None,
+    **grid_kwargs: Any,
 ) -> list[dict[str, Any]]:
-    """Run every grid cell; cells present in ``resume_from`` are reused.
+    """Run every grid cell, serving already-known cells without executing.
 
-    A cell is identified by (protocol, n, adversary, seed, options) — see
-    :func:`record_cell_key`.  With ``jobs > 1`` the missing cells fan out
-    to a ``multiprocessing`` pool; every cell is a pure function of the
-    spec and its seeds, so the records are identical to a serial run (the
-    returned list is always in grid order).
+    A cell is identified by its :class:`CellId` digest over (protocol, n,
+    t, adversary, seed, options, model, model_options, engine capability) —
+    see :func:`record_cell_key`.  Cells are satisfied, in order, from:
+
+    1. ``resume`` — a journal path or a sequence of finished records
+       (``resume_from`` is the legacy spelling; both are honoured);
+    2. ``cache`` — a content-addressed :class:`repro.fabric.CampaignCache`
+       (or a directory path for one) consulted per cell and fed every
+       newly computed record, so identical cells are never recomputed
+       across campaigns, CLI invocations, or hosts;
+    3. execution.  With ``jobs > 1`` the missing cells fan out across a
+       work-stealing worker fabric (:class:`repro.fabric.FabricDispatcher`):
+       the grid is sharded by estimated cost and idle workers steal from
+       stragglers, so one large-``n`` cell cannot idle the pool.  Every
+       cell is a pure function of the spec and its seeds, so the records
+       are identical to a serial run (the returned list is always in grid
+       order).
+
+    ``claims`` (requires ``cache``) enables the multi-host directory
+    transport: this process claims the cells it computes via atomic lease
+    files, computes only those, and waits for — or, on lease expiry,
+    takes over — cells claimed by other hosts sharing the cache.
 
     ``journal`` names an append-only JSONL file that receives each newly
-    computed record the moment it finishes (previously-resumed records are
-    already on disk and are not re-appended).  ``on_record`` is called with
-    each newly computed record, in completion order.
+    computed record the moment it finishes (resumed and cache-served
+    records are already durable and are not re-appended).  ``on_record``
+    is called with each newly computed record, in completion order.
 
     ``record_failures`` names a directory: each cell then runs through the
     ``repro.replay`` recorder with invariants on, and a violating cell does
     not abort the sweep — its :class:`~repro.replay.ExecutionRecipe` is
-    saved under the directory and the cell's journal record carries
-    ``failed: true`` plus the recipe path (``summarize_campaign`` skips such
-    records).
+    saved under the directory (and embedded in the cache entry), and the
+    cell's journal record carries ``failed: true`` plus the recipe path
+    (``summarize_campaign`` skips such records).
+
+    Passing loose grid keywords (``protocol=``, ``ns=``, ...) instead of a
+    spec is deprecated; see docs/api.md for the migration table.
     """
-    done = {
-        record_cell_key(rec): rec
-        for rec in resume_from
-        if rec.get("campaign") == spec.name
-    }
+    spec = _coerce_spec(spec, grid_kwargs)
+    if claims is not None and cache is None:
+        raise ValueError("claims coordination requires a cache")
+    store = open_cache(cache) if cache is not None else None
+    done: dict[CellId, dict[str, Any]] = {}
+    for record in _resolve_resume(resume, resume_from):
+        if record.get("campaign") != spec.name:
+            continue
+        cell = CellId.from_record(record)
+        if cell is not None:
+            done[cell] = dict(record)
+
     journal_path = Path(journal) if journal is not None else None
-    results: dict[tuple[int, str, int], dict[str, Any]] = {}
-    pending: list[tuple[int, str, int]] = []
-    for cell in spec.grid():
-        key = spec.cell_key(*cell)
-        if key in done:
-            results[cell] = done[key]
-        else:
-            pending.append(cell)
+    coords_type = tuple[int, str, int]
+    results: dict[coords_type, dict[str, Any]] = {}
+    pending: list[tuple[coords_type, CellId]] = []
+    for coords in spec.grid():
+        cell = spec.cell_id(*coords)
+        if cell in done:
+            results[coords] = done[cell]
+            continue
+        if store is not None:
+            cached = store.get(cell)
+            if cached is not None:
+                results[coords] = cached
+                continue
+        pending.append((coords, cell))
 
     def finish(
-        cell: tuple[int, str, int], record: dict[str, Any]
+        coords: coords_type,
+        cell: CellId,
+        record: dict[str, Any],
+        recipe: dict[str, Any] | None,
     ) -> None:
-        results[cell] = record
+        results[coords] = record
         if journal_path is not None:
             append_journal_record(journal_path, record)
+        if store is not None:
+            store.put(cell, record, recipe=recipe)
+        if claims is not None:
+            claims.release(cell)
         if on_record is not None:
             on_record(record)
+
+    if claims is not None:
+        mine = [item for item in pending if claims.claim(item[1])]
+        theirs = [item for item in pending if item[1].digest not in
+                  claims.claimed]
+    else:
+        mine, theirs = pending, []
 
     failures_dir = (
         str(record_failures) if record_failures is not None else None
     )
-    if jobs <= 1 or len(pending) <= 1:
-        for cell in pending:
-            finish(cell, _run_cell(spec, *cell, failures_dir))
-    elif pending:
-        context = multiprocessing.get_context(_start_method())
+    if jobs <= 1 or len(mine) <= 1:
+        for coords, cell in mine:
+            record, recipe = _run_cell(spec, *coords, failures_dir)
+            finish(coords, cell, record, recipe)
+    elif mine:
+        dispatcher = FabricDispatcher(jobs)
+        cells = {coords: cell for coords, cell in mine}
         tasks = [
-            (spec, n, adversary, seed, failures_dir)
-            for n, adversary, seed in pending
+            CellTask(
+                index=index,
+                payload=(spec, n, adversary, seed, failures_dir),
+                cost=estimated_cost(n),
+            )
+            for index, ((n, adversary, seed), _) in enumerate(mine)
         ]
-        with context.Pool(processes=min(jobs, len(pending))) as pool:
-            for cell, record in pool.imap_unordered(_run_cell_task, tasks):
-                finish(cell, record)
-    return [results[cell] for cell in spec.grid()]
+
+        def on_result(
+            task: CellTask,
+            outcome: tuple[
+                coords_type, dict[str, Any], dict[str, Any] | None
+            ],
+        ) -> None:
+            coords, record, recipe = outcome
+            finish(coords, cells[coords], record, recipe)
+
+        dispatcher.run(tasks, _run_cell_task, on_result)
+
+    if theirs:
+        assert store is not None and claims is not None
+        found, abandoned = await_cells(store, theirs, claims)
+        for coords, record in found.items():
+            results[coords] = record
+        for coords, cell in abandoned:
+            # The owning host died (or never published): take the lease
+            # over and compute locally — idempotent results make a race
+            # with a slow-but-alive owner harmless.
+            claims.reclaim(cell)
+            record, recipe = _run_cell(spec, *coords, failures_dir)
+            finish(coords, cell, record, recipe)
+
+    return [results[coords] for coords in spec.grid()]
 
 
 def save_campaign(
@@ -482,14 +581,16 @@ def summarize_campaign(
     records: Sequence[dict[str, Any]]
 ) -> list[dict[str, Any]]:
     """Aggregate records per (protocol, n, adversary): means over seeds."""
-    buckets: dict[tuple, list[dict[str, Any]]] = {}
+    buckets: dict[tuple[str, int, str], list[dict[str, Any]]] = {}
     for record in records:
         if record.get("failed"):
             # Invariant-violating cells (record_failures mode) have no
             # metrics to aggregate; their recipes are on disk instead.
             continue
-        key = (record["protocol"], record["n"], record["adversary"])
-        buckets.setdefault(key, []).append(record)
+        cell = CellId.from_record(record)
+        if cell is None:
+            continue
+        buckets.setdefault(cell.series_key(), []).append(record)
     summary = []
     for (protocol, n, adversary), group in sorted(buckets.items()):
         count = len(group)

@@ -180,18 +180,11 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .analysis.campaign import (
-        CampaignSpec,
-        load_campaign,
-        load_journal,
-        run_campaign,
-        save_campaign,
-        summarize_campaign,
-    )
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from .analysis.campaign import CampaignSpec
 
     options = {"x": args.x} if args.x is not None else {}
-    spec = CampaignSpec(
+    return CampaignSpec(
         name=args.name,
         protocol=args.protocol,
         ns=_parse_int_list(args.ns),
@@ -201,36 +194,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         capture=tuple(item for item in args.capture.split(",") if item),
         model=args.model,
     )
-    resume = []
-    output = args.output
-    journal = args.resume
-    if journal is not None:
-        try:
-            resume = load_journal(journal)
-            print(f"resuming from {journal} ({len(resume)} records)")
-        except FileNotFoundError:
-            pass
-    else:
-        try:
-            resume = load_campaign(output)
-            print(f"resuming from {output} ({len(resume)} records)")
-        except FileNotFoundError:
-            pass
-    records = run_campaign(
-        spec,
-        resume_from=resume,
-        jobs=args.jobs,
-        journal=journal,
-        record_failures=args.record_failures,
-    )
-    failed = [rec for rec in records if rec.get("failed")]
-    for rec in failed:
-        print(
-            f"  FAILED {rec['protocol']} n={rec['n']} {rec['adversary']} "
-            f"seed={rec['seed']}: {rec['invariant']} -> {rec['recipe']}"
-        )
-    save_campaign(records, output)
-    print(f"wrote {output} ({len(records)} records)")
+
+
+def _open_campaign_cache(args: argparse.Namespace):
+    from .fabric import open_cache
+
+    if getattr(args, "cache", None) is None:
+        return None
+    return open_cache(args.cache)
+
+
+def _print_campaign_records(records, output) -> None:
+    from .analysis.campaign import save_campaign, summarize_campaign
+
+    for rec in records:
+        if rec.get("failed"):
+            print(
+                f"  FAILED {rec['protocol']} n={rec['n']} {rec['adversary']} "
+                f"seed={rec['seed']}: {rec['invariant']} -> {rec['recipe']}"
+            )
+    if output is not None:
+        save_campaign(records, output)
+        print(f"wrote {output} ({len(records)} records)")
     for row in summarize_campaign(records):
         print(
             f"  {row['protocol']} n={row['n']:>4} {row['adversary']:>8}: "
@@ -238,7 +223,197 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"rbits={row['mean_random_bits']:.1f} "
             f"fallback={row['fallback_rate']:.2f}"
         )
+
+
+def _run_campaign_command(
+    args: argparse.Namespace,
+    resume_records,
+    journal,
+) -> int:
+    """Shared engine behind ``campaign run|resume`` and the legacy form."""
+    import json
+
+    from .analysis.campaign import run_campaign
+
+    spec = _campaign_spec_from_args(args)
+    cache = _open_campaign_cache(args)
+    claims = None
+    if getattr(args, "coordinate", False):
+        from .fabric import DirectoryClaims
+
+        if cache is None:
+            raise SystemExit("--coordinate requires --cache")
+        claims = DirectoryClaims(
+            cache.root / "claims", lease_seconds=args.lease_seconds
+        )
+    computed: list[dict] = []
+    records = run_campaign(
+        spec,
+        resume=resume_records,
+        jobs=args.jobs,
+        journal=journal,
+        record_failures=args.record_failures,
+        cache=cache,
+        claims=claims,
+        on_record=computed.append,
+    )
+    _print_campaign_records(records, args.output)
+    if cache is not None:
+        stats = cache.stats.as_dict()
+        print(
+            f"cache: {stats['hits']} hits, {len(computed)} computed, "
+            f"hit rate {stats['hit_rate']:.2f}"
+        )
+        if getattr(args, "cache_stats", None) is not None:
+            payload = {
+                "spec": spec.name,
+                "cells": len(records),
+                "computed": len(computed),
+                "resumed": len(records) - len(computed) - stats["hits"],
+                **stats,
+            }
+            with open(args.cache_stats, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.cache_stats}")
     return 0
+
+
+def _load_resume_journal(journal) -> list:
+    from .analysis.campaign import load_journal
+
+    if journal is None:
+        return []
+    try:
+        records = load_journal(journal)
+    except FileNotFoundError:
+        return []
+    print(f"resuming from {journal} ({len(records)} records)")
+    return records
+
+
+def _cmd_campaign_legacy(args: argparse.Namespace) -> int:
+    """Flat ``campaign`` flags: a one-cycle alias for ``campaign run``."""
+    import warnings
+
+    from .analysis.campaign import load_campaign
+
+    warnings.warn(
+        "flat `campaign` flags are deprecated; use `campaign run` "
+        "(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    journal = args.resume
+    resume = _load_resume_journal(journal)
+    if journal is None:
+        try:
+            resume = load_campaign(args.output)
+            print(f"resuming from {args.output} ({len(resume)} records)")
+        except FileNotFoundError:
+            pass
+    return _run_campaign_command(args, resume, journal)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    journal = args.journal
+    return _run_campaign_command(
+        args, _load_resume_journal(journal), journal
+    )
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    if args.journal is None:
+        raise SystemExit("campaign resume requires --journal PATH")
+    return _cmd_campaign_run(args)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Journal + cache standing for a spec — reads only, never executes."""
+    import json
+
+    from .analysis.campaign import load_journal, record_cell_key
+
+    spec = _campaign_spec_from_args(args)
+    cache = _open_campaign_cache(args)
+    journaled = {}
+    if args.journal is not None:
+        try:
+            for record in load_journal(args.journal):
+                if record.get("campaign") != spec.name:
+                    continue
+                try:
+                    journaled[record_cell_key(record)] = record
+                except KeyError:
+                    continue
+        except FileNotFoundError:
+            pass
+    states = {"journal": 0, "cache": 0, "missing": 0}
+    missing = []
+    for coords in spec.grid():
+        cell = spec.cell_id(*coords)
+        if cell in journaled:
+            states["journal"] += 1
+        elif cache is not None and cache.contains(cell):
+            states["cache"] += 1
+        else:
+            states["missing"] += 1
+            missing.append(cell)
+    total = sum(states.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "spec": spec.name,
+                    "cells": total,
+                    **states,
+                    "missing_cells": [str(cell) for cell in missing],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"campaign      : {spec.name} ({total} cells)")
+    print(f"in journal    : {states['journal']}")
+    print(f"in cache      : {states['cache']}")
+    print(f"missing       : {states['missing']}")
+    for cell in missing:
+        print(f"  MISSING {cell}")
+    return 0
+
+
+def _cmd_campaign_query(args: argparse.Namespace) -> int:
+    """Resolve a spec against the cache; print hits, never execute."""
+    import json
+
+    from .analysis.campaign import summarize_campaign
+    from .fabric import query
+
+    spec = _campaign_spec_from_args(args)
+    if args.cache is None:
+        raise SystemExit("campaign query requires --cache DIR")
+    result = query(spec, args.cache)
+    if args.json:
+        payload = result.as_dict()
+        payload["records"] = result.records()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if not result.misses else 1
+    for status in result.cells:
+        mark = "HIT " if status.hit else "MISS"
+        print(f"  {mark} {status.cell}")
+    print(
+        f"cache: {len(result.hits)}/{len(result.cells)} cells "
+        f"(hit rate {result.hit_rate:.2f})"
+    )
+    for row in summarize_campaign(result.records()):
+        print(
+            f"  {row['protocol']} n={row['n']:>4} {row['adversary']:>8}: "
+            f"rounds={row['mean_rounds']:.1f} bits={row['mean_bits']:.0f} "
+            f"rbits={row['mean_random_bits']:.1f} "
+            f"fallback={row['fallback_rate']:.2f}"
+        )
+    return 0 if not result.misses else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -390,45 +565,137 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser.set_defaults(func=_cmd_ablation)
 
     campaign_parser = sub.add_parser(
-        "campaign", help="batch grid sweep with JSON persistence/resume"
+        "campaign",
+        help="cached grid sweeps: run | resume | status | query",
+        description=(
+            "Sweep a (protocol, n, adversary, seed) grid through the "
+            "campaign fabric.  Cells are identified by content digest "
+            "(CellId) and served from the --cache store when already "
+            "computed.  Flat flags without a subcommand are a deprecated "
+            "alias for `campaign run`."
+        ),
     )
-    campaign_parser.add_argument("--name", default="campaign")
-    campaign_parser.add_argument(
-        "--protocol", default="algorithm1",
-        choices=list(available_protocols(sweepable=True)),
+
+    def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--name", default="campaign")
+        parser.add_argument(
+            "--protocol", default="algorithm1",
+            choices=list(available_protocols(sweepable=True)),
+        )
+        parser.add_argument("--ns", default="64,100")
+        parser.add_argument("--adversaries", default="none,silence")
+        parser.add_argument("--seeds", default="0,1")
+        parser.add_argument(
+            "--x", type=int, default=None,
+            help="tradeoff super-process count (stored in the spec options)",
+        )
+        parser.add_argument(
+            "--capture", default="",
+            help='comma list of per-cell observers: "trace", "profile"',
+        )
+        parser.add_argument(
+            "--model", default=None, choices=list(_available_models()),
+            help="execution model axis; part of cell identity when given",
+        )
+        parser.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="content-addressed cell cache: hits are served without "
+            "executing, newly computed cells are stored for every later "
+            "campaign, invocation, or host",
+        )
+
+    def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--output", default="campaign.json")
+        parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the grid (1 = in-process serial); "
+            "cells shard by estimated cost and idle workers steal from "
+            "stragglers",
+        )
+        parser.add_argument(
+            "--journal", "--resume", dest="journal", default=None,
+            metavar="PATH",
+            help="append-only JSONL journal: newly computed cells stream "
+            "to it and are reused on restart (--resume is the legacy "
+            "spelling)",
+        )
+        parser.add_argument(
+            "--record-failures", default=None, metavar="DIR",
+            help="run cells through the replay recorder with invariants "
+            "on; violating cells save an ExecutionRecipe here (and into "
+            "the cache) instead of aborting the sweep",
+        )
+        parser.add_argument(
+            "--cache-stats", default=None, metavar="PATH",
+            help="write hit/miss/computed accounting JSON after the run",
+        )
+        parser.add_argument(
+            "--coordinate", action="store_true",
+            help="multi-host mode: claim cells via atomic lease files "
+            "under the cache so hosts sharing it partition the grid",
+        )
+        parser.add_argument(
+            "--lease-seconds", type=float, default=3600.0,
+            help="claim lease before another host may take a cell over",
+        )
+
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", metavar="{run,resume,status,query}"
     )
-    campaign_parser.add_argument("--ns", default="64,100")
-    campaign_parser.add_argument("--adversaries", default="none,silence")
-    campaign_parser.add_argument("--seeds", default="0,1")
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute the grid (cache and journal hits are reused)"
+    )
+    _add_grid_flags(campaign_run)
+    _add_run_flags(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue an interrupted sweep from its journal"
+    )
+    _add_grid_flags(campaign_resume)
+    _add_run_flags(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status",
+        help="journal + cache standing for a spec (reads only, no runs)",
+    )
+    _add_grid_flags(campaign_status)
+    campaign_status.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="JSONL journal to count completed cells from",
+    )
+    campaign_status.add_argument("--json", action="store_true")
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_query = campaign_sub.add_parser(
+        "query",
+        help="resolve a spec against the cache and print the hits "
+        "(exit 1 when any cell is missing)",
+    )
+    _add_grid_flags(campaign_query)
+    campaign_query.add_argument("--json", action="store_true")
+    campaign_query.set_defaults(func=_cmd_campaign_query)
+
+    # Legacy flat form (one deprecation cycle): `campaign --ns ...` with
+    # no subcommand behaves like `campaign run`, resuming from --output
+    # when no journal is given, exactly as before the split.
+    _add_grid_flags(campaign_parser)
     campaign_parser.add_argument("--output", default="campaign.json")
-    campaign_parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the grid (1 = in-process serial)",
-    )
+    campaign_parser.add_argument("--jobs", type=int, default=1)
     campaign_parser.add_argument(
         "--resume", default=None, metavar="PATH",
-        help="append-only JSONL journal: completed cells stream to it and "
-        "are reused on restart (takes precedence over --output for resume)",
-    )
-    campaign_parser.add_argument(
-        "--x", type=int, default=None,
-        help="tradeoff super-process count (stored in the spec options)",
-    )
-    campaign_parser.add_argument(
-        "--capture", default="",
-        help='comma list of per-cell observers to attach: "trace", "profile"',
+        help=argparse.SUPPRESS,
     )
     campaign_parser.add_argument(
         "--record-failures", default=None, metavar="DIR",
-        help="run cells through the replay recorder with invariants on; "
-        "violating cells save an ExecutionRecipe here instead of aborting "
-        "the sweep",
+        help=argparse.SUPPRESS,
     )
     campaign_parser.add_argument(
-        "--model", default=None, choices=list(_available_models()),
-        help="execution model axis; part of cell identity when given",
+        "--cache-stats", default=None, metavar="PATH",
+        help=argparse.SUPPRESS,
     )
-    campaign_parser.set_defaults(func=_cmd_campaign)
+    campaign_parser.set_defaults(func=_cmd_campaign_legacy)
 
     replay_parser = sub.add_parser(
         "replay",

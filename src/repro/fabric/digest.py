@@ -1,0 +1,192 @@
+"""CellId: the canonical, content-addressed identity of one sweep cell.
+
+Every campaign cell — one protocol execution at one grid coordinate — is a
+pure function of its identity: ``(protocol, n, t, adversary, seed,
+options, execution model, model options, engine capability)``.  A
+:class:`CellId` freezes exactly those components and derives a canonical
+SHA-256 digest from them, which is the key under which the cell's record
+lives in the content-addressed store (:mod:`repro.fabric.store`), the
+identity journal resume matches on, and the grouping handle reports use.
+
+The digest recipe is deliberately boring so it can be recomputed anywhere:
+
+1. mappings (``options``, ``model_options``) are canonicalized to compact
+   sorted-key JSON (the frozen dataclass stores the *string*, keeping the
+   id hashable);
+2. the nine identity components are assembled into one JSON object with
+   sorted keys and no whitespace;
+3. the digest is the lowercase hex SHA-256 of that object's UTF-8 bytes.
+
+Two processes — or two hosts — that agree on the component values agree on
+the digest, which is what makes cache entries portable across campaigns,
+CLI invocations, and machines.
+
+This module is the *only* place cell identity is derived; campaign and
+fabric code everywhere else must go through :class:`CellId` (enforced by
+lint rule REP009).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from functools import cached_property
+from collections.abc import Mapping
+from typing import Any
+
+__all__ = ["CellId", "canonical_json"]
+
+
+def canonical_json(value: Mapping[str, Any] | None) -> str:
+    """Canonical compact JSON for an options mapping (``None`` → ``{}``)."""
+    return json.dumps(dict(value or {}), sort_keys=True, separators=(",", ":"))
+
+
+def _current_engine() -> str:
+    from ..harness import capability_fingerprint
+
+    return capability_fingerprint()
+
+
+@dataclass(frozen=True)
+class CellId:
+    """Frozen identity of one sweep cell; hashable, orderable, digestible.
+
+    ``options`` and ``model_options`` are stored in their canonical JSON
+    string form (see :func:`canonical_json`); use :meth:`make` to build an
+    id from mappings.  ``model is None`` means the default execution model
+    — kept distinct from an explicit ``"lockstep"`` so records written by
+    legacy (model-unpinned) specs keep their exact resume identity.
+    ``engine`` is the harness capability fingerprint
+    (:func:`repro.harness.capability_fingerprint`); ``None`` resolves to
+    the running engine's.
+    """
+
+    protocol: str
+    n: int
+    t: int | None
+    adversary: str
+    seed: int
+    options: str = "{}"
+    model: str | None = None
+    model_options: str = "{}"
+    engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            object.__setattr__(self, "engine", _current_engine())
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(
+        cls,
+        protocol: str,
+        n: int,
+        t: int | None,
+        adversary: str,
+        seed: int,
+        options: Mapping[str, Any] | None = None,
+        model: str | None = None,
+        model_options: Mapping[str, Any] | None = None,
+        engine: str | None = None,
+    ) -> CellId:
+        """Build an id, canonicalizing the option mappings."""
+        return cls(
+            protocol=protocol,
+            n=n,
+            t=t,
+            adversary=adversary,
+            seed=seed,
+            options=canonical_json(options),
+            model=model,
+            model_options=canonical_json(model_options),
+            engine=engine,
+        )
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> CellId | None:
+        """The identity under which a finished record satisfies a cell.
+
+        Tolerant of historical journal shapes: records written before
+        options were stored count as empty options; records written before
+        the model axis count as the default model; records written before
+        the engine fingerprint count as the *current* engine (they were
+        readable only by engines that would have produced them).  Returns
+        ``None`` when the mapping is not a cell record at all.
+        """
+        try:
+            return cls.make(
+                protocol=record["protocol"],
+                n=record["n"],
+                t=record.get("t"),
+                adversary=record["adversary"],
+                seed=record["seed"],
+                options=record.get("options") or {},
+                model=record.get("model"),
+                model_options=record.get("model_options") or {},
+                engine=record.get("engine"),
+            )
+        except (KeyError, TypeError):
+            return None
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> CellId:
+        """Rebuild an id from :meth:`payload` (e.g. a CAS entry)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+    # ------------------------------------------------------------------
+    # canonical forms
+    # ------------------------------------------------------------------
+    def payload(self) -> dict[str, Any]:
+        """JSON-safe mapping of every identity component."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "adversary": self.adversary,
+            "seed": self.seed,
+            "options": self.options,
+            "model": self.model,
+            "model_options": self.model_options,
+            "engine": self.engine,
+        }
+
+    @cached_property
+    def digest(self) -> str:
+        """Lowercase hex SHA-256 of the canonical identity JSON."""
+        canon = json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    @property
+    def short(self) -> str:
+        """12-hex-character digest prefix for logs and filenames."""
+        return self.digest[:12]
+
+    def series_key(self) -> tuple[str, int, str]:
+        """Per-(protocol, n, adversary) grouping handle for summaries.
+
+        The seed axis is what summaries aggregate over, so the series key
+        drops it (and everything downstream of it) while staying derived
+        from the one identity type.
+        """
+        return (self.protocol, self.n, self.adversary)
+
+    def __str__(self) -> str:
+        model = self.model if self.model is not None else "default"
+        return (
+            f"{self.protocol}:n{self.n}:{self.adversary}:s{self.seed}"
+            f":{model}:{self.short}"
+        )
+
+    def __lt__(self, other: object) -> bool:
+        # A total order (by digest) so mixed None/str model fields never
+        # break ``sorted`` over heterogeneous cell populations.
+        if not isinstance(other, CellId):
+            return NotImplemented
+        return self.digest < other.digest

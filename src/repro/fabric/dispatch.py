@@ -1,0 +1,188 @@
+"""Sharded, work-stealing dispatch of sweep cells over worker processes.
+
+Two layers, separable so the scheduling policy is unit-testable without
+spawning a single process:
+
+* :class:`StealScheduler` — pure bookkeeping.  The grid is sharded across
+  workers up front by LPT (longest-processing-time-first greedy) over a
+  per-cell cost estimate, giving each worker a contiguous claim on roughly
+  equal *work*, not equal cell counts.  A worker that drains its own shard
+  steals from the tail of the most-loaded victim — the tail holds the
+  victim's cheapest remaining cells, so a straggler grinding through a
+  large-``n`` columnar cell keeps its expensive head while idle workers
+  shave its backlog.
+* :class:`FabricDispatcher` — the process fabric.  One task queue per
+  worker plus a shared result queue; the parent holds the scheduler and
+  answers each completion by handing that worker its next cell (own shard
+  first, then a steal).  Workers never see the schedule, so stealing needs
+  no shared memory and the policy stays in one process.
+
+Cells are pure functions of ``(spec, coordinates)``, so any schedule —
+serial, sharded, or stolen — produces identical records; the dispatcher
+only changes wall-clock shape.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = ["CellTask", "FabricDispatcher", "StealScheduler", "estimated_cost"]
+
+
+def estimated_cost(n: int) -> float:
+    """Relative cost of one cell: message volume dominates, so ~``n**2``."""
+    return float(n) * float(n)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One schedulable unit: an opaque payload plus its cost estimate."""
+
+    index: int  # position in the submission order (stable identity)
+    payload: Any
+    cost: float = 1.0
+
+
+@dataclass
+class StealScheduler:
+    """Deterministic shard-and-steal policy over a fixed task set."""
+
+    tasks: Sequence[CellTask]
+    workers: int
+    shards: list[deque[CellTask]] = field(init=False)
+    loads: list[float] = field(init=False)
+    steals: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self.shards = [deque() for _ in range(self.workers)]
+        self.loads = [0.0] * self.workers
+        # LPT greedy: place each task (heaviest first) on the currently
+        # least-loaded shard; ties break on worker index so the schedule
+        # is a pure function of (tasks, workers).
+        ordered = sorted(
+            self.tasks, key=lambda task: (-task.cost, task.index)
+        )
+        for task in ordered:
+            target = min(
+                range(self.workers), key=lambda w: (self.loads[w], w)
+            )
+            self.shards[target].append(task)
+            self.loads[target] += task.cost
+
+    def next_for(self, worker: int) -> CellTask | None:
+        """The next task for ``worker``: own shard head, else a steal."""
+        own = self.shards[worker]
+        if own:
+            task = own.popleft()
+            self.loads[worker] -= task.cost
+            return task
+        victim = max(
+            range(self.workers), key=lambda w: (self.loads[w], -w)
+        )
+        if not self.shards[victim]:
+            return None
+        task = self.shards[victim].pop()  # cheapest end of the victim
+        self.loads[victim] -= task.cost
+        self.steals += 1
+        return task
+
+    def remaining(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+
+def _start_method() -> str:
+    """Prefer ``fork`` (cheap, inherits sys.path) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+_SENTINEL = None
+
+
+class FabricDispatcher:
+    """Run tasks across worker processes under a work-stealing schedule.
+
+    ``worker_fn`` must be a module-level (picklable) callable taking one
+    task payload and returning one result; exceptions inside a worker are
+    shipped back and re-raised in the parent after the pool is torn down.
+    """
+
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("need at least one job")
+        self.jobs = jobs
+        self.start_method = (
+            start_method if start_method is not None else _start_method()
+        )
+        self.steals = 0
+
+    def run(
+        self,
+        tasks: Sequence[CellTask],
+        worker_fn: Callable[[Any], Any],
+        on_result: Callable[[CellTask, Any], None],
+    ) -> None:
+        """Execute every task; ``on_result`` fires in completion order."""
+        if not tasks:
+            return
+        jobs = min(self.jobs, len(tasks))
+        scheduler = StealScheduler(tasks, workers=jobs)
+        by_index = {task.index: task for task in tasks}
+        context = multiprocessing.get_context(self.start_method)
+        from .workers import worker_main
+
+        task_queues = [context.Queue() for _ in range(jobs)]
+        results: Any = context.Queue()
+        processes = [
+            context.Process(
+                target=worker_main,
+                args=(wid, task_queues[wid], results, worker_fn),
+                daemon=True,
+            )
+            for wid in range(jobs)
+        ]
+        failure: tuple[int, str] | None = None
+        try:
+            for process in processes:
+                process.start()
+            for wid in range(jobs):
+                task = scheduler.next_for(wid)
+                task_queues[wid].put(
+                    _SENTINEL if task is None else (task.index, task.payload)
+                )
+            done = 0
+            total = len(tasks)
+            while done < total:
+                wid, index, ok, result = results.get()
+                done += 1
+                if not ok:
+                    failure = (index, result)
+                    break
+                task = scheduler.next_for(wid)
+                task_queues[wid].put(
+                    _SENTINEL if task is None else (task.index, task.payload)
+                )
+                on_result(by_index[index], result)
+        finally:
+            for queue in task_queues:
+                try:
+                    queue.put(_SENTINEL)
+                except (OSError, ValueError):
+                    pass
+            for process in processes:
+                process.join(timeout=5)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+            self.steals = scheduler.steals
+        if failure is not None:
+            index, message = failure
+            raise RuntimeError(
+                f"fabric worker failed on task {index}: {message}"
+            )

@@ -1,0 +1,94 @@
+"""Query layer: serve sweep cells from the cache without executing any.
+
+``query(spec, cache)`` resolves every cell of a campaign grid against the
+content-addressed store and reports hits and misses — the primitive behind
+``repro.cli campaign query`` / ``campaign status``, warm report
+generation, and the conformance suite's cached-cell fast path.  Nothing
+here can trigger a recomputation; a miss is just reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from .digest import CellId
+from .store import CampaignCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..analysis.campaign import CampaignSpec
+
+__all__ = ["CellStatus", "QueryResult", "open_cache", "query"]
+
+
+def open_cache(cache: CampaignCache | str | Path) -> CampaignCache:
+    """Coerce a path-or-cache argument into a :class:`CampaignCache`."""
+    if isinstance(cache, CampaignCache):
+        return cache
+    return CampaignCache(Path(cache))
+
+
+@dataclass(frozen=True)
+class CellStatus:
+    """One grid cell's standing against the cache."""
+
+    coordinates: tuple[int, str, int]  # (n, adversary, seed)
+    cell: CellId
+    record: dict[str, Any] | None
+
+    @property
+    def hit(self) -> bool:
+        return self.record is not None
+
+
+@dataclass
+class QueryResult:
+    """Every cell of one spec resolved against one cache, in grid order."""
+
+    spec_name: str
+    cells: list[CellStatus] = field(default_factory=list)
+
+    @property
+    def hits(self) -> list[CellStatus]:
+        return [status for status in self.cells if status.hit]
+
+    @property
+    def misses(self) -> list[CellStatus]:
+        return [status for status in self.cells if not status.hit]
+
+    @property
+    def hit_rate(self) -> float:
+        return (len(self.hits) / len(self.cells)) if self.cells else 1.0
+
+    def records(self) -> list[dict[str, Any]]:
+        """The hit records, in grid order (for summaries and reports)."""
+        return [
+            status.record for status in self.cells if status.record is not None
+        ]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "cells": len(self.cells),
+            "hits": len(self.hits),
+            "misses": len(self.misses),
+            "hit_rate": self.hit_rate,
+            "missing": [str(status.cell) for status in self.misses],
+        }
+
+
+def query(
+    spec: CampaignSpec, cache: CampaignCache | str | Path
+) -> QueryResult:
+    """Resolve every cell of ``spec`` against ``cache`` (read-only)."""
+    store = open_cache(cache)
+    result = QueryResult(spec_name=spec.name)
+    for coordinates in spec.grid():
+        cell = spec.cell_id(*coordinates)
+        result.cells.append(
+            CellStatus(
+                coordinates=coordinates, cell=cell, record=store.get(cell)
+            )
+        )
+    return result

@@ -1,0 +1,42 @@
+"""Worker-process entry point for the fabric dispatcher.
+
+Kept in its own module so both ``fork`` and ``spawn`` start methods can
+import it by qualified name; the task function itself must likewise be a
+module-level callable (the campaign runner passes
+``repro.analysis.campaign._run_cell_task``).
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    worker_fn: Callable[[Any], Any],
+) -> None:
+    """Pull ``(index, payload)`` tasks until the ``None`` sentinel.
+
+    Results ship back as ``(worker_id, index, ok, result)``; an exception
+    is caught, stringified with its traceback, and sent with ``ok=False``
+    so the parent can tear the pool down and re-raise.
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, payload = task
+        try:
+            result = worker_fn(payload)
+        except BaseException:
+            result_queue.put(
+                (worker_id, index, False, traceback.format_exc())
+            )
+            break
+        result_queue.put((worker_id, index, True, result))

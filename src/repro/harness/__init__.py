@@ -11,21 +11,25 @@ touching protocol code.
 
 from ..runtime import RoundObserver, RoundProfiler, TraceRecorder
 from .registry import (
+    CELL_RECORD_VERSION,
     ExecutionRequest,
     ProtocolSpec,
     available_protocols,
+    capability_fingerprint,
     execute,
     protocol_spec,
     register_protocol,
 )
 
 __all__ = [
+    "CELL_RECORD_VERSION",
     "ExecutionRequest",
     "ProtocolSpec",
     "RoundObserver",
     "RoundProfiler",
     "TraceRecorder",
     "available_protocols",
+    "capability_fingerprint",
     "execute",
     "protocol_spec",
     "register_protocol",

@@ -117,6 +117,30 @@ class ProtocolSpec:
         return params.max_faults(n)
 
 
+#: Version of the campaign cell record *content*: what ``_run_cell``
+#: writes for a given cell identity.  Bump whenever a record gains,
+#: loses, or re-derives a field, so cached cells computed by an older
+#: engine are never served as if the current engine produced them.
+CELL_RECORD_VERSION = 2
+
+
+def capability_fingerprint() -> str:
+    """Stable engine-capability token, part of every cell's cache identity.
+
+    Combines the campaign record-content version with the serialization
+    schema version.  Deliberately *excludes* axes certified byte-identical
+    across implementations — the multicast/per-copy send paths and the
+    object/columnar delivery backends (see docs/model.md) — so a host
+    without numpy reuses cells a columnar host computed, and vice versa.
+    What it does capture is "would this engine, handed the same identity,
+    write the same record bytes": any change to that answer must bump
+    :data:`CELL_RECORD_VERSION`.
+    """
+    from ..runtime.serialization import SCHEMA_VERSION
+
+    return f"cells-v{CELL_RECORD_VERSION}+schema-v{SCHEMA_VERSION}"
+
+
 _REGISTRY: dict[str, ProtocolSpec] = {}
 
 

@@ -69,6 +69,7 @@ def _ensure_builtin_rules() -> None:
     from . import (  # noqa: F401
         rules_api,
         rules_determinism,
+        rules_identity,
         rules_model,
         rules_perf,
     )

@@ -1,6 +1,7 @@
 """Tests for the batch-campaign runner."""
 
 import json
+import warnings
 
 import pytest
 
@@ -262,6 +263,35 @@ class TestJournal:
         assert repair_journal(path) == b""
         assert path.read_bytes() == before
 
+    def test_load_journal_dedupes_rerun_cells_latest_write_wins(
+        self, tmp_path
+    ):
+        """A cell appended twice (e.g. a sweep re-run after a partial
+        resume) must surface once: the *last* record appended, at the
+        position of the first."""
+        spec = small_spec(adversaries=["none"], seeds=[0, 1])
+        path = tmp_path / "journal.jsonl"
+        first, second = run_campaign(spec, journal=path)
+        stale = dict(first)
+        stale["rounds"] = -1  # the superseded earlier write
+        rerun = dict(first)
+        rerun["rounds"] = 99  # the authoritative re-run
+        path.write_text("", encoding="utf-8")
+        for record in (stale, second, rerun):
+            append_journal_record(path, record)
+        loaded = load_journal(path)
+        assert loaded == [rerun, second]  # deduped, first-seen position
+        assert len(load_journal(path, dedupe=False)) == 3
+
+    def test_load_journal_dedupe_keeps_non_cell_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        note = {"note": "sweep started"}
+        cell = {"campaign": "c", "protocol": "algorithm1", "n": 33,
+                "t": 8, "adversary": "none", "seed": 0}
+        for record in (note, cell, note, cell):
+            append_journal_record(path, record)
+        assert load_journal(path) == [note, cell, note]
+
     def test_resume_after_torn_append(self, tmp_path):
         """End-to-end: a campaign whose journal was torn mid-record still
         resumes, re-running only the severed cell."""
@@ -280,6 +310,38 @@ class TestJournal:
         assert len(finished) == 1
         assert len(resumed) == 4
         assert len(load_journal(path)) == 4
+
+
+class TestDeprecatedGridKwargs:
+    GRID = dict(
+        protocol="algorithm1", ns=[33], adversaries=["none"], seeds=[0]
+    )
+
+    def test_loose_keywords_still_run_with_a_warning(self):
+        expected = run_campaign(small_spec(adversaries=["none"], seeds=[0]))
+        with pytest.warns(DeprecationWarning, match="CampaignSpec"):
+            records = run_campaign(name="test-campaign", **self.GRID)
+        assert json.dumps(records, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+    def test_positional_name_with_keywords(self):
+        with pytest.warns(DeprecationWarning):
+            records = run_campaign("test-campaign", **self.GRID)
+        assert records[0]["campaign"] == "test-campaign"
+
+    def test_spec_plus_loose_keywords_rejected(self):
+        with pytest.raises(TypeError, match="both a CampaignSpec"):
+            run_campaign(small_spec(), ns=[33])
+
+    def test_no_spec_at_all_rejected(self):
+        with pytest.raises(TypeError, match="needs a CampaignSpec"):
+            run_campaign()
+
+    def test_spec_path_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_campaign(small_spec(adversaries=["none"], seeds=[0]))
 
 
 class TestPersistence:

@@ -151,6 +151,147 @@ def test_campaign_x_option_recorded(tmp_path, capsys):
     assert records[0]["options"] == {"x": 2}
 
 
+def test_campaign_legacy_flat_flags_warn(tmp_path, capsys):
+    import pytest
+
+    output = tmp_path / "campaign.json"
+    with pytest.warns(DeprecationWarning, match="campaign run"):
+        code = main(
+            [
+                "campaign",
+                "--ns", "33",
+                "--adversaries", "none",
+                "--seeds", "0",
+                "--output", str(output),
+            ]
+        )
+    assert code == 0
+    assert output.exists()
+
+
+def test_campaign_run_cold_then_warm_cache(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    argv_tail = [
+        "--name", "cli-cache",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0,1",
+        "--cache", str(cache),
+    ]
+    cold_out = tmp_path / "cold.json"
+    cold_stats = tmp_path / "cold-stats.json"
+    code = main(
+        ["campaign", "run", "--output", str(cold_out),
+         "--cache-stats", str(cold_stats), *argv_tail]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "cache: 0 hits, 2 computed" in captured
+
+    warm_out = tmp_path / "warm.json"
+    warm_stats = tmp_path / "warm-stats.json"
+    code = main(
+        ["campaign", "run", "--output", str(warm_out),
+         "--cache-stats", str(warm_stats), *argv_tail]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "cache: 2 hits, 0 computed" in captured
+    stats = json.loads(warm_stats.read_text())
+    assert stats["computed"] == 0
+    assert stats["hits"] == 2
+    assert stats["hit_rate"] == 1.0
+    # The cached sweep is byte-identical to the computed one.
+    assert cold_out.read_bytes() == warm_out.read_bytes()
+
+
+def test_campaign_status_subcommand(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    argv_tail = [
+        "--name", "cli-status",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0,1",
+        "--cache", str(cache),
+    ]
+    code = main(["campaign", "status", *argv_tail])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "missing       : 2" in captured
+
+    main(["campaign", "run", "--output", str(tmp_path / "out.json"),
+          *argv_tail])
+    capsys.readouterr()
+    code = main(["campaign", "status", "--json", *argv_tail])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["cache"] == 2
+    assert payload["missing"] == 0
+    assert payload["missing_cells"] == []
+
+
+def test_campaign_query_subcommand(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv_tail = [
+        "--name", "cli-query",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0",
+        "--cache", str(cache),
+    ]
+    # An empty cache is all misses: nonzero exit, nothing executed.
+    code = main(["campaign", "query", *argv_tail])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "MISS" in captured
+
+    main(["campaign", "run", "--output", str(tmp_path / "out.json"),
+          *argv_tail])
+    capsys.readouterr()
+    code = main(["campaign", "query", *argv_tail])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "HIT " in captured
+    assert "hit rate 1.00" in captured
+
+
+def test_campaign_resume_requires_journal(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit, match="requires --journal"):
+        main(["campaign", "resume", "--ns", "33", "--seeds", "0",
+              "--output", str(tmp_path / "out.json")])
+
+
+def test_campaign_resume_subcommand(tmp_path, capsys):
+    journal = tmp_path / "sweep.jsonl"
+    argv = [
+        "campaign", "resume",
+        "--name", "cli-resume",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0,1",
+        "--journal", str(journal),
+        "--output", str(tmp_path / "out.json"),
+    ]
+    code = main(argv)
+    capsys.readouterr()
+    assert code == 0
+    from repro.analysis.campaign import load_journal
+
+    assert len(load_journal(journal)) == 2
+    # Second pass resumes every cell from the journal.
+    code = main(argv)
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert f"resuming from {journal}" in captured
+    assert len(load_journal(journal)) == 2
+
+
 def test_ablation_subcommand(capsys):
     code = main(
         ["ablation", "--n", "33", "--epochs", "1,6", "--trials", "2"]

@@ -375,6 +375,55 @@ class TestRep008:
 
 
 # ---------------------------------------------------------------------------
+# REP009 — cell identity derived outside CellId
+class TestRep009:
+    def test_identity_subscript_tuple_flagged(self):
+        src = (
+            'key = (record["protocol"], record["n"],'
+            ' record["adversary"], record["seed"])\n'
+        )
+        assert codes(
+            lint_source(src, "src/repro/fabric/probe.py")
+        ) == ["REP009"]
+
+    def test_identity_attribute_tuple_flagged(self):
+        src = "key = (cell.protocol, cell.adversary, cell.seed)\n"
+        assert codes(
+            lint_source(src, "src/repro/analysis/campaign.py")
+        ) == ["REP009"]
+
+    def test_str_options_flagged(self):
+        src = "cache[str(options)] = record\n"
+        assert codes(lint_source(src, "src/repro/cli.py")) == ["REP009"]
+
+    def test_json_dumps_model_options_flagged(self):
+        src = "import json\nkey = json.dumps(model_options)\n"
+        assert codes(
+            lint_source(src, "src/repro/fabric/probe.py")
+        ) == ["REP009"]
+
+    def test_bare_name_tuple_clean(self):
+        src = "for n, adversary, seed in grid:\n    run(n, adversary, seed)\n"
+        assert lint_source(src, "src/repro/fabric/probe.py") == []
+
+    def test_two_field_tuple_clean(self):
+        src = 'pair = (record["protocol"], record["n"])\n'
+        assert lint_source(src, "src/repro/fabric/probe.py") == []
+
+    def test_non_identity_dumps_clean(self):
+        src = "import json\nline = json.dumps(record, sort_keys=True)\n"
+        assert lint_source(src, "src/repro/fabric/probe.py") == []
+
+    def test_out_of_scope_module_unflagged(self):
+        src = 'key = (r["protocol"], r["n"], r["adversary"], r["seed"])\n'
+        assert lint_source(src, "src/repro/analysis/experiments.py") == []
+
+    def test_designated_implementation_exempt(self):
+        src = "payload = (self.protocol, self.n, self.adversary, self.seed)\n"
+        assert lint_source(src, "src/repro/fabric/digest.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Pragmas
 class TestPragmas:
     def test_line_pragma_suppresses_named_rule(self):
