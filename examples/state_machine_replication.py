@@ -1,4 +1,4 @@
-"""State-machine replication on multi-valued consensus.
+"""State-machine replication on multi-valued consensus — as a service.
 
 The full stack a downstream system would deploy: replicas propose
 *commands* (encoded as small integers), each log slot is decided by
@@ -8,25 +8,44 @@ Because consensus guarantees one command per slot at every correct
 replica, the stores stay byte-identical no matter what the omission
 adversary does within its budget.
 
+The service runs over any registered transport: in-process (the default)
+or ``--transport tcp``, where every slot's replicas are hosted by real
+OS worker processes speaking length-prefixed frames over localhost TCP
+(``repro.transport``).  ``--verify-replay`` additionally records each
+slot's execution and replays it *in-process*, asserting the recorded
+fingerprint reproduces — the cross-transport determinism check, live.
+``--metrics-out`` writes the per-link transport metrics the observer bus
+collected (frames, bytes, latency, retries) as JSON.
+
 Command encoding (6 bits): ``op(2) | key(2) | value(2)`` with ops
 SET / INC / DEL / NOP over four keys.
 
 Run:  python examples/state_machine_replication.py
+      python examples/state_machine_replication.py \
+          --transport tcp --processes-per-worker 4 --verify-replay
+      python -m repro.cli serve --transport tcp   # same loop via the CLI
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import random
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.adversary import RandomOmissionAdversary, SilenceAdversary
 from repro.harness import execute
 from repro.params import ProtocolParams
+from repro.transport import LinkMetricsObserver, available_transports
 
 N_REPLICAS = 36
 N_SLOTS = 4
 VALUE_BITS = 6
 
 OPS = ("SET", "INC", "DEL", "NOP")
+
+ADVERSARIES = ("alternate", "silence", "random", "none")
 
 
 def encode(op: str, key: int, value: int) -> int:
@@ -48,19 +67,57 @@ def apply_command(store: dict[int, int], command: int) -> None:
     # NOP: nothing.
 
 
-def main() -> None:
+def _slot_adversary(kind: str, slot: int, n: int, t: int, rng: random.Random):
+    if kind == "none":
+        return None
+    if kind == "silence" or (kind == "alternate" and slot % 2 == 0):
+        return SilenceAdversary(rng.sample(range(n), t))
+    return RandomOmissionAdversary(0.8, seed=slot)
+
+
+def run_service(
+    n_replicas: int = N_REPLICAS,
+    n_slots: int = N_SLOTS,
+    *,
+    transport: str | None = None,
+    transport_options: Mapping[str, Any] | None = None,
+    seed: int = 77,
+    adversary: str = "alternate",
+    verify_replay: bool = False,
+    metrics_out: str | None = None,
+    quiet: bool = False,
+) -> dict[str, Any]:
+    """Drive the replicated KV store for ``n_slots`` consensus instances.
+
+    Returns a JSON-safe summary: per-slot decisions and rounds, the final
+    store, replay verdicts (when ``verify_replay``), and the aggregated
+    per-link transport metrics (when a real transport ran).
+    """
+    if adversary not in ADVERSARIES:
+        raise ValueError(
+            f"unknown adversary {adversary!r}; choose from {ADVERSARIES}"
+        )
     params = ProtocolParams.practical()
-    t = params.max_faults(N_REPLICAS)
-    rng = random.Random(77)
+    t = params.max_faults(n_replicas)
+    rng = random.Random(seed)
     stores: dict[int, dict[int, int]] = {
-        pid: {} for pid in range(N_REPLICAS)
+        pid: {} for pid in range(n_replicas)
     }
     ever_faulty: set[int] = set()
+    link_metrics = LinkMetricsObserver()
+    slots: list[dict[str, Any]] = []
 
-    print(f"replicated KV store on {N_REPLICAS} replicas "
-          f"(t = {t} omission-faulty per slot)\n")
+    def say(text: str) -> None:
+        if not quiet:
+            print(text)
 
-    for slot in range(N_SLOTS):
+    say(
+        f"replicated KV store on {n_replicas} replicas "
+        f"(t = {t} omission-faulty per slot, "
+        f"transport = {transport or 'inprocess'})\n"
+    )
+
+    for slot in range(n_slots):
         # Every replica proposes its own pending command.
         # The bit-prefix reduction anchors to the *smallest* matching
         # input, so decisions skew low; proposals avoid the all-zero
@@ -71,37 +128,76 @@ def main() -> None:
                 rng.randrange(4),
                 rng.randrange(1, 4),
             )
-            for _ in range(N_REPLICAS)
+            for _ in range(n_replicas)
         ]
-        adversary = (
-            SilenceAdversary(rng.sample(range(N_REPLICAS), t))
-            if slot % 2 == 0
-            else RandomOmissionAdversary(0.8, seed=slot)
-        )
+        slot_adversary = _slot_adversary(adversary, slot, n_replicas, t, rng)
         # Each log slot is one consensus instance through the unified
-        # harness entry point; any registered protocol, adversary, or
-        # execution model slots in without touching the replication loop.
-        result = execute(
-            "multivalued",
-            proposals,
-            value_bits=VALUE_BITS,
-            t=t,
-            adversary=adversary,
-            params=params,
-            seed=500 + slot,
-        ).result
+        # harness entry point; any registered protocol, adversary,
+        # execution model, or transport slots in without touching the
+        # replication loop.
+        slot_record: dict[str, Any] = {"slot": slot}
+        if verify_replay:
+            from repro.replay import record, replay
+
+            recorded = record(
+                "multivalued",
+                proposals,
+                value_bits=VALUE_BITS,
+                t=t,
+                adversary=slot_adversary,
+                params=params,
+                seed=500 + slot,
+                observers=(link_metrics,),
+                transport=transport,
+                transport_options=transport_options,
+                note=f"SMR service slot {slot}",
+            )
+            if recorded.failed:
+                raise AssertionError(
+                    f"slot {slot} tripped an invariant: {recorded.failure}"
+                )
+            assert recorded.run is not None
+            result = recorded.run.result
+            report = replay(recorded.recipe)
+            assert report.matches, (
+                f"slot {slot}: in-process replay of the "
+                f"{recorded.recipe.transport}-recorded recipe diverged: "
+                f"{report.summary()}"
+            )
+            slot_record["replay"] = report.summary()
+        else:
+            result = execute(
+                "multivalued",
+                proposals,
+                value_bits=VALUE_BITS,
+                t=t,
+                adversary=slot_adversary,
+                params=params,
+                seed=500 + slot,
+                observers=(link_metrics,),
+                transport=transport,
+                transport_options=transport_options,
+            ).result
         decided = result.agreement_value()
         ever_faulty |= set(result.faulty)
         op, key, value = decode(decided)
-        print(
+        say(
             f"slot {slot}: {len(set(proposals))} distinct proposals -> "
             f"decided {decided} = {op} k{key} {value}  "
             f"({result.time_to_agreement()} rounds)"
+            + ("  [replay verified]" if verify_replay else "")
         )
         assert decided in proposals, "strong validity: decided a real command"
-        for pid in range(N_REPLICAS):
+        for pid in range(n_replicas):
             if pid not in result.faulty:
                 apply_command(stores[pid], decided)
+        slot_record.update(
+            decided=decided,
+            command=f"{op} k{key} {value}",
+            rounds=result.time_to_agreement(),
+            faulty=sorted(result.faulty),
+        )
+        slots.append(slot_record)
 
     reference = None
     for pid, store in stores.items():
@@ -110,8 +206,75 @@ def main() -> None:
         if reference is None:
             reference = store
         assert store == reference, f"store divergence at replica {pid}"
-    print(f"\nall always-correct replicas hold the same store: {reference}")
+    say(f"\nall always-correct replicas hold the same store: {reference}")
+
+    summary: dict[str, Any] = {
+        "replicas": n_replicas,
+        "t": t,
+        "transport": transport or "inprocess",
+        "adversary": adversary,
+        "slots": slots,
+        "store": {str(k): v for k, v in (reference or {}).items()},
+        "links": link_metrics.summary(),
+    }
+    if metrics_out is not None:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        say(f"wrote {metrics_out}")
+    return summary
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="replicated KV-store service on multi-valued consensus"
+    )
+    parser.add_argument("--replicas", type=int, default=N_REPLICAS)
+    parser.add_argument("--slots", type=int, default=N_SLOTS)
+    parser.add_argument(
+        "--transport", default=None, choices=list(available_transports()),
+        help="where replicas execute (default: in-process)",
+    )
+    parser.add_argument(
+        "--processes-per-worker", type=int, default=None, metavar="K",
+        help="TCP transport: replicas hosted per OS worker process",
+    )
+    parser.add_argument("--seed", type=int, default=77)
+    parser.add_argument(
+        "--adversary", default="alternate", choices=list(ADVERSARIES)
+    )
+    parser.add_argument(
+        "--verify-replay", action="store_true",
+        help="record every slot and assert it replays in-process to the "
+        "identical fingerprint",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run summary (incl. per-link transport metrics) "
+        "as JSON",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    transport_options: dict[str, Any] = {}
+    if args.processes_per_worker is not None:
+        if args.transport != "tcp":
+            raise SystemExit("--processes-per-worker requires --transport tcp")
+        transport_options["processes_per_worker"] = args.processes_per_worker
+    run_service(
+        args.replicas,
+        args.slots,
+        transport=args.transport,
+        transport_options=transport_options or None,
+        seed=args.seed,
+        adversary=args.adversary,
+        verify_replay=args.verify_replay,
+        metrics_out=args.metrics_out,
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -25,8 +25,9 @@ point::
 
 Every cell is identified by a :class:`repro.fabric.CellId` — the canonical
 digest of ``(protocol, n, t, adversary, seed, options, model,
-model_options, engine capability)`` — which is the journal resume
-identity, the cache key, and the report grouping handle all at once.
+model_options, engine capability, transport, transport_options)`` — which
+is the journal resume identity, the cache key, and the report grouping
+handle all at once.
 
 Three persistence layers:
 
@@ -49,7 +50,6 @@ regardless of completion order.
 from __future__ import annotations
 
 import json
-import warnings
 from pathlib import Path
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -138,6 +138,13 @@ class CampaignSpec:
     #: Options forwarded to the round-model constructor (e.g. ``gst``);
     #: part of cell identity, valid only with an explicit ``model``.
     model_options: dict[str, Any] = field(default_factory=dict)
+    #: Transport axis: a registered transport name, or ``None`` for the
+    #: in-process default.  Part of cell identity when set.
+    transport: str | None = None
+    #: Options forwarded to the transport constructor (e.g.
+    #: ``processes_per_worker``); part of cell identity, valid only with
+    #: an explicit ``transport``.
+    transport_options: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         sweepable = available_protocols(sweepable=True)
@@ -155,6 +162,18 @@ class CampaignSpec:
                 )
         elif self.model_options:
             raise ValueError("model_options requires an explicit model")
+        if self.transport is not None:
+            from ..transport import available_transports
+
+            if self.transport not in available_transports():
+                raise ValueError(
+                    f"unknown transport {self.transport!r}; choose from "
+                    f"{available_transports()}"
+                )
+        elif self.transport_options:
+            raise ValueError(
+                "transport_options requires an explicit transport"
+            )
         unknown = set(self.adversaries) - set(ADVERSARY_FACTORIES)
         if unknown:
             raise ValueError(
@@ -188,11 +207,9 @@ class CampaignSpec:
             options=self.options,
             model=self.model,
             model_options=self.model_options,
+            transport=self.transport,
+            transport_options=self.transport_options,
         )
-
-    def cell_key(self, n: int, adversary: str, seed: int) -> CellId:
-        """Legacy name for :meth:`cell_id` (kept one deprecation cycle)."""
-        return self.cell_id(n, adversary, seed)
 
 
 def _run_cell(
@@ -219,6 +236,9 @@ def _run_cell(
         observers.append(profiler)
 
     model_options = spec.model_options if spec.model_options else None
+    transport_options = (
+        spec.transport_options if spec.transport_options else None
+    )
     # t stays None: every spec's build resolves the same default budget the
     # adversary above was constructed with (the tradeoff intentionally keeps
     # its own halved internal budget while the record carries campaign_t).
@@ -236,6 +256,8 @@ def _run_cell(
             options=spec.options,
             model=spec.model,
             model_options=model_options,
+            transport=spec.transport,
+            transport_options=transport_options,
             note=(
                 f"campaign {spec.name}: n={n} "
                 f"adversary={adversary_name} seed={seed}"
@@ -264,6 +286,12 @@ def _run_cell(
                 failed_record["model"] = spec.model
                 if spec.model_options:
                     failed_record["model_options"] = dict(spec.model_options)
+            if spec.transport is not None:
+                failed_record["transport"] = spec.transport
+                if spec.transport_options:
+                    failed_record["transport_options"] = dict(
+                        spec.transport_options
+                    )
             # The recipe itself rides along so the failure lands in the
             # cache as a self-contained, replayable artifact.
             return failed_record, recipe_payload(recorded.recipe)
@@ -279,6 +307,8 @@ def _run_cell(
             options=spec.options,
             model=spec.model,
             model_options=model_options,
+            transport=spec.transport,
+            transport_options=transport_options,
         )
 
     metrics = run.metrics
@@ -308,6 +338,11 @@ def _run_cell(
         record["model"] = spec.model
         if spec.model_options:
             record["model_options"] = dict(spec.model_options)
+    if spec.transport is not None:
+        # Same conditional-key rule as the model axis.
+        record["transport"] = spec.transport
+        if spec.transport_options:
+            record["transport_options"] = dict(spec.transport_options)
     if protocol.record_extras is not None:
         record.update(protocol.record_extras(run, run.request))
     if recorder is not None:
@@ -370,31 +405,6 @@ def load_journal(
     return list(merged.values())
 
 
-def _coerce_spec(
-    spec: CampaignSpec | str | None, grid_kwargs: dict[str, Any]
-) -> CampaignSpec:
-    """Accept a spec, or (one deprecation cycle) loose grid keywords."""
-    if isinstance(spec, CampaignSpec):
-        if grid_kwargs:
-            raise TypeError(
-                "run_campaign got both a CampaignSpec and loose grid "
-                f"keywords {sorted(grid_kwargs)}; put everything in the spec"
-            )
-        return spec
-    if spec is None and not grid_kwargs:
-        raise TypeError("run_campaign needs a CampaignSpec")
-    warnings.warn(
-        "passing loose grid keywords to run_campaign is deprecated; "
-        "construct a CampaignSpec and pass it as the single positional "
-        "argument (see docs/api.md)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    if isinstance(spec, str):
-        return CampaignSpec(name=spec, **grid_kwargs)
-    return CampaignSpec(**grid_kwargs)
-
-
 def _resolve_resume(
     resume: Sequence[Mapping[str, Any]] | str | Path | None,
     resume_from: Sequence[Mapping[str, Any]] | None,
@@ -414,7 +424,7 @@ def _resolve_resume(
 
 
 def run_campaign(
-    spec: CampaignSpec | None = None,
+    spec: CampaignSpec,
     resume_from: Sequence[Mapping[str, Any]] | None = None,
     jobs: int = 1,
     journal: str | Path | None = None,
@@ -424,13 +434,13 @@ def run_campaign(
     cache: CampaignCache | str | Path | None = None,
     resume: Sequence[Mapping[str, Any]] | str | Path | None = None,
     claims: DirectoryClaims | None = None,
-    **grid_kwargs: Any,
 ) -> list[dict[str, Any]]:
     """Run every grid cell, serving already-known cells without executing.
 
     A cell is identified by its :class:`CellId` digest over (protocol, n,
-    t, adversary, seed, options, model, model_options, engine capability) —
-    see :func:`record_cell_key`.  Cells are satisfied, in order, from:
+    t, adversary, seed, options, model, model_options, engine capability,
+    transport, transport_options) — see :func:`record_cell_key`.  Cells
+    are satisfied, in order, from:
 
     1. ``resume`` — a journal path or a sequence of finished records
        (``resume_from`` is the legacy spelling; both are honoured);
@@ -462,11 +472,13 @@ def run_campaign(
     saved under the directory (and embedded in the cache entry), and the
     cell's journal record carries ``failed: true`` plus the recipe path
     (``summarize_campaign`` skips such records).
-
-    Passing loose grid keywords (``protocol=``, ``ns=``, ...) instead of a
-    spec is deprecated; see docs/api.md for the migration table.
     """
-    spec = _coerce_spec(spec, grid_kwargs)
+    if not isinstance(spec, CampaignSpec):
+        raise TypeError(
+            "run_campaign takes a CampaignSpec as its single positional "
+            f"argument, got {type(spec).__name__!r}; the loose grid-keyword "
+            "spelling was removed (see docs/api.md)"
+        )
     if claims is not None and cache is None:
         raise ValueError("claims coordination requires a cache")
     store = open_cache(cache) if cache is not None else None

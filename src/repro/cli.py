@@ -7,6 +7,7 @@ Subcommands mirror the experiment index in DESIGN.md::
     repro-consensus table1 --n 128
     repro-consensus coin-game --ks 64,256 --alpha 0.25
     repro-consensus graph-check --n 512
+    repro-consensus serve --transport tcp --processes-per-worker 4
 """
 
 from __future__ import annotations
@@ -48,6 +49,12 @@ def _available_models() -> tuple[str, ...]:
     return available_models()
 
 
+def _available_transports() -> tuple[str, ...]:
+    from .transport import available_transports
+
+    return available_transports()
+
+
 def _build_adversary(name: str, n: int, t: int, seed: int) -> Adversary | None:
     try:
         factory = ADVERSARIES[name]
@@ -80,6 +87,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         observers=(profiler,) if profiler is not None else (),
         model=args.model,
+        transport=args.transport,
     )
     metrics = run.metrics
     if args.json:
@@ -193,6 +201,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         options=options,
         capture=tuple(item for item in args.capture.split(",") if item),
         model=args.model,
+        transport=args.transport,
     )
 
 
@@ -290,29 +299,6 @@ def _load_resume_journal(journal) -> list:
         return []
     print(f"resuming from {journal} ({len(records)} records)")
     return records
-
-
-def _cmd_campaign_legacy(args: argparse.Namespace) -> int:
-    """Flat ``campaign`` flags: a one-cycle alias for ``campaign run``."""
-    import warnings
-
-    from .analysis.campaign import load_campaign
-
-    warnings.warn(
-        "flat `campaign` flags are deprecated; use `campaign run` "
-        "(see docs/api.md)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    journal = args.resume
-    resume = _load_resume_journal(journal)
-    if journal is None:
-        try:
-            resume = load_campaign(args.output)
-            print(f"resuming from {args.output} ({len(resume)} records)")
-        except FileNotFoundError:
-            pass
-    return _run_campaign_command(args, resume, journal)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -414,6 +400,55 @@ def _cmd_campaign_query(args: argparse.Namespace) -> int:
             f"fallback={row['fallback_rate']:.2f}"
         )
     return 0 if not result.misses else 1
+
+
+def _load_smr_example():
+    """Load ``examples/state_machine_replication.py`` as a module.
+
+    The examples directory is not a package; the service loop lives there
+    so the example stays a runnable, self-contained artifact, and the CLI
+    imports it by path.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    path = (
+        Path(__file__).resolve().parents[2]
+        / "examples"
+        / "state_machine_replication.py"
+    )
+    if not path.exists():
+        raise SystemExit(f"example not found: {path}")
+    spec = importlib.util.spec_from_file_location(
+        "repro_example_smr", path
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the SMR example as a (multi-process) consensus service."""
+    module = _load_smr_example()
+    transport_options = {}
+    if args.processes_per_worker is not None:
+        if args.transport != "tcp":
+            raise SystemExit(
+                "--processes-per-worker requires --transport tcp"
+            )
+        transport_options["processes_per_worker"] = args.processes_per_worker
+    module.run_service(
+        args.replicas,
+        args.slots,
+        transport=args.transport,
+        transport_options=transport_options or None,
+        seed=args.seed,
+        adversary=args.adversary,
+        verify_replay=args.verify_replay,
+        metrics_out=args.metrics_out,
+    )
+    return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -525,6 +560,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default=None, choices=list(_available_models()),
         help="execution model (default: $REPRO_EXECUTION_MODEL or lockstep)",
     )
+    run_parser.add_argument(
+        "--transport", default=None, choices=list(_available_transports()),
+        help="where processes execute: in-process (default) or real OS "
+        "worker processes over localhost TCP",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     tradeoff_parser = sub.add_parser(
@@ -571,8 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Sweep a (protocol, n, adversary, seed) grid through the "
             "campaign fabric.  Cells are identified by content digest "
             "(CellId) and served from the --cache store when already "
-            "computed.  Flat flags without a subcommand are a deprecated "
-            "alias for `campaign run`."
+            "computed."
         ),
     )
 
@@ -596,6 +635,12 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "--model", default=None, choices=list(_available_models()),
             help="execution model axis; part of cell identity when given",
+        )
+        parser.add_argument(
+            "--transport", default=None,
+            choices=list(_available_transports()),
+            help="transport axis (where processes execute); part of cell "
+            "identity when given",
         )
         parser.add_argument(
             "--cache", default=None, metavar="DIR",
@@ -640,7 +685,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     campaign_sub = campaign_parser.add_subparsers(
-        dest="campaign_command", metavar="{run,resume,status,query}"
+        dest="campaign_command", metavar="{run,resume,status,query}",
+        required=True,
     )
     campaign_run = campaign_sub.add_parser(
         "run", help="execute the grid (cache and journal hits are reused)"
@@ -677,26 +723,6 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_query.add_argument("--json", action="store_true")
     campaign_query.set_defaults(func=_cmd_campaign_query)
 
-    # Legacy flat form (one deprecation cycle): `campaign --ns ...` with
-    # no subcommand behaves like `campaign run`, resuming from --output
-    # when no journal is given, exactly as before the split.
-    _add_grid_flags(campaign_parser)
-    campaign_parser.add_argument("--output", default="campaign.json")
-    campaign_parser.add_argument("--jobs", type=int, default=1)
-    campaign_parser.add_argument(
-        "--resume", default=None, metavar="PATH",
-        help=argparse.SUPPRESS,
-    )
-    campaign_parser.add_argument(
-        "--record-failures", default=None, metavar="DIR",
-        help=argparse.SUPPRESS,
-    )
-    campaign_parser.add_argument(
-        "--cache-stats", default=None, metavar="PATH",
-        help=argparse.SUPPRESS,
-    )
-    campaign_parser.set_defaults(func=_cmd_campaign_legacy)
-
     replay_parser = sub.add_parser(
         "replay",
         help="re-execute a recorded ExecutionRecipe and verify the outcome",
@@ -732,6 +758,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
     report_parser.set_defaults(func=_cmd_report)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the state-machine-replication service "
+        "(examples/state_machine_replication.py), optionally as real OS "
+        "processes over localhost TCP",
+    )
+    serve_parser.add_argument("--replicas", type=int, default=36)
+    serve_parser.add_argument("--slots", type=int, default=4)
+    serve_parser.add_argument(
+        "--transport", default=None, choices=list(_available_transports()),
+        help="where the replicas execute (default: in-process)",
+    )
+    serve_parser.add_argument(
+        "--processes-per-worker", type=int, default=None, metavar="K",
+        help="TCP transport: replicas hosted per OS worker process",
+    )
+    serve_parser.add_argument("--seed", type=int, default=77)
+    serve_parser.add_argument(
+        "--adversary", default="alternate",
+        choices=("alternate", "silence", "random", "none"),
+    )
+    serve_parser.add_argument(
+        "--verify-replay", action="store_true",
+        help="record every slot and assert it replays in-process to the "
+        "identical fingerprint",
+    )
+    serve_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run summary (incl. per-link transport metrics) "
+        "as JSON",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -2,7 +2,8 @@
 
 Every campaign cell — one protocol execution at one grid coordinate — is a
 pure function of its identity: ``(protocol, n, t, adversary, seed,
-options, execution model, model options, engine capability)``.  A
+options, execution model, model options, engine capability, transport,
+transport options)``.  A
 :class:`CellId` freezes exactly those components and derives a canonical
 SHA-256 digest from them, which is the key under which the cell's record
 lives in the content-addressed store (:mod:`repro.fabric.store`), the
@@ -10,11 +11,11 @@ identity journal resume matches on, and the grouping handle reports use.
 
 The digest recipe is deliberately boring so it can be recomputed anywhere:
 
-1. mappings (``options``, ``model_options``) are canonicalized to compact
-   sorted-key JSON (the frozen dataclass stores the *string*, keeping the
-   id hashable);
-2. the nine identity components are assembled into one JSON object with
-   sorted keys and no whitespace;
+1. mappings (``options``, ``model_options``, ``transport_options``) are
+   canonicalized to compact sorted-key JSON (the frozen dataclass stores
+   the *string*, keeping the id hashable);
+2. the eleven identity components are assembled into one JSON object
+   with sorted keys and no whitespace;
 3. the digest is the lowercase hex SHA-256 of that object's UTF-8 bytes.
 
 Two processes — or two hosts — that agree on the component values agree on
@@ -60,7 +61,9 @@ class CellId:
     legacy (model-unpinned) specs keep their exact resume identity.
     ``engine`` is the harness capability fingerprint
     (:func:`repro.harness.capability_fingerprint`); ``None`` resolves to
-    the running engine's.
+    the running engine's.  ``transport is None`` means the default
+    in-process transport — kept distinct from an explicit
+    ``"inprocess"`` for the same resume-identity reason as ``model``.
     """
 
     protocol: str
@@ -72,6 +75,8 @@ class CellId:
     model: str | None = None
     model_options: str = "{}"
     engine: str | None = None
+    transport: str | None = None
+    transport_options: str = "{}"
 
     def __post_init__(self) -> None:
         if self.engine is None:
@@ -92,6 +97,8 @@ class CellId:
         model: str | None = None,
         model_options: Mapping[str, Any] | None = None,
         engine: str | None = None,
+        transport: str | None = None,
+        transport_options: Mapping[str, Any] | None = None,
     ) -> CellId:
         """Build an id, canonicalizing the option mappings."""
         return cls(
@@ -104,6 +111,8 @@ class CellId:
             model=model,
             model_options=canonical_json(model_options),
             engine=engine,
+            transport=transport,
+            transport_options=canonical_json(transport_options),
         )
 
     @classmethod
@@ -114,8 +123,10 @@ class CellId:
         options were stored count as empty options; records written before
         the model axis count as the default model; records written before
         the engine fingerprint count as the *current* engine (they were
-        readable only by engines that would have produced them).  Returns
-        ``None`` when the mapping is not a cell record at all.
+        readable only by engines that would have produced them); records
+        written before the transport axis count as the default
+        (in-process) transport.  Returns ``None`` when the mapping is not
+        a cell record at all.
         """
         try:
             return cls.make(
@@ -128,6 +139,8 @@ class CellId:
                 model=record.get("model"),
                 model_options=record.get("model_options") or {},
                 engine=record.get("engine"),
+                transport=record.get("transport"),
+                transport_options=record.get("transport_options") or {},
             )
         except (KeyError, TypeError):
             return None
@@ -153,6 +166,8 @@ class CellId:
             "model": self.model,
             "model_options": self.model_options,
             "engine": self.engine,
+            "transport": self.transport,
+            "transport_options": self.transport_options,
         }
 
     @cached_property

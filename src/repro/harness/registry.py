@@ -34,6 +34,7 @@ from ..runtime import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from ..core.consensus import ConsensusRun
+    from ..transport import Transport
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,10 @@ class ExecutionRequest:
     #: :class:`RoundModel`, or ``None`` for the environment default.
     model: RoundModel | str | None = None
     model_options: Mapping[str, Any] | None = None
+    #: Transport axis: a registered transport name, a ready-made
+    #: :class:`~repro.transport.Transport`, or ``None`` for in-process.
+    transport: Transport | str | None = None
+    transport_options: Mapping[str, Any] | None = None
 
     def option(self, key: str, default: Any = None) -> Any:
         return self.options.get(key, default)
@@ -121,7 +126,10 @@ class ProtocolSpec:
 #: writes for a given cell identity.  Bump whenever a record gains,
 #: loses, or re-derives a field, so cached cells computed by an older
 #: engine are never served as if the current engine produced them.
-CELL_RECORD_VERSION = 2
+#: v3: records carry the transport axis (``transport`` /
+#: ``transport_options``) when a campaign pins one, and cell identity
+#: (:class:`repro.fabric.CellId`) digests over it.
+CELL_RECORD_VERSION = 3
 
 
 def capability_fingerprint() -> str:
@@ -199,6 +207,8 @@ def execute(
     columnar: bool | None = None,
     model: RoundModel | str | None = None,
     model_options: Mapping[str, Any] | None = None,
+    transport: Transport | str | None = None,
+    transport_options: Mapping[str, Any] | None = None,
     **extra_options: Any,
 ) -> ConsensusRun:
     """Run one protocol end-to-end through the unified harness.
@@ -219,6 +229,10 @@ def execute(
     :class:`RoundModel` instance; ``None`` honours the
     ``REPRO_EXECUTION_MODEL`` environment variable before defaulting to
     lockstep), with ``model_options`` forwarded to the model constructor.
+    ``transport`` selects where the processes physically execute
+    (``"inprocess"`` — the default — or ``"tcp"`` for real OS worker
+    processes over localhost; see :mod:`repro.transport`), with
+    ``transport_options`` forwarded to the transport constructor.
 
     Returns a :class:`repro.core.consensus.ConsensusRun`.
     """
@@ -247,6 +261,8 @@ def execute(
         options=MappingProxyType(merged_options),
         model=model,
         model_options=model_options,
+        transport=transport,
+        transport_options=transport_options,
     )
     processes, budget = spec.build(request)
     network = SyncNetwork(
@@ -262,6 +278,8 @@ def execute(
         columnar=columnar,
         model=model,
         model_options=model_options,
+        transport=transport,
+        transport_options=transport_options,
     )
     result = network.run()
     return ConsensusRun(

@@ -10,7 +10,11 @@ earlier than a crash would):
 * ``ConsensusRun`` tuple protocol (``run[0]``, ``result, procs = run_x(...)``)
   — superseded by the named ``.result`` / ``.processes`` attributes;
 * three-argument ``Adversary.setup(n, t, processes)`` — superseded by
-  ``setup(ctx: AdversaryContext)``.
+  ``setup(ctx: AdversaryContext)``;
+* loose grid keywords to ``run_campaign(ns=..., adversaries=...)`` —
+  superseded by a single :class:`~repro.analysis.campaign.CampaignSpec`
+  positional argument;
+* ``CampaignSpec.cell_key(...)`` — superseded by ``cell_id(...)``.
 
 REP008 keeps the harness the single front door to the engine: library
 and example code that constructs ``SyncNetwork(...)`` directly bypasses
@@ -46,6 +50,26 @@ _RUN_HELPERS = frozenset(
 )
 
 
+#: ``CampaignSpec`` fields once accepted by ``run_campaign`` as loose
+#: keywords; the adapter is gone, so any of these on a ``run_campaign``
+#: call marks code written against the removed spelling.
+_CAMPAIGN_GRID_KWARGS = frozenset(
+    {
+        "name",
+        "protocol",
+        "ns",
+        "adversaries",
+        "seeds",
+        "options",
+        "capture",
+        "model",
+        "model_options",
+        "transport",
+        "transport_options",
+    }
+)
+
+
 def _is_run_helper_call(node: ast.expr) -> bool:
     if not isinstance(node, ast.Call):
         return False
@@ -60,8 +84,9 @@ class DeprecatedApi(Rule):
     code = "REP004"
     name = "removed-api"
     summary = (
-        "removed surface: on_round=, ConsensusRun tuple protocol, or "
-        "legacy Adversary.setup(n, t, processes)"
+        "removed surface: on_round=, ConsensusRun tuple protocol, legacy "
+        "Adversary.setup(n, t, processes), loose run_campaign grid "
+        "keywords, or CampaignSpec.cell_key"
     )
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
@@ -122,6 +147,13 @@ class DeprecatedApi(Rule):
                 yield from self._check_call(module, node)
             elif isinstance(node, ast.Subscript):
                 yield from self._check_subscript(module, node, run_names)
+            elif isinstance(node, ast.Attribute) and node.attr == "cell_key":
+                yield self.finding(
+                    module,
+                    node,
+                    "CampaignSpec.cell_key was removed; call cell_id(...) "
+                    "(same signature, same CellId result)",
+                )
             stack.extend(
                 c for c in ast.iter_child_nodes(node) if not isinstance(c, ast.stmt)
             )
@@ -139,6 +171,20 @@ class DeprecatedApi(Rule):
                         "a RoundObserver via observers=[...] or "
                         "add_observer()",
                     )
+        if callee == "run_campaign":
+            loose = sorted(
+                keyword.arg
+                for keyword in node.keywords
+                if keyword.arg in _CAMPAIGN_GRID_KWARGS
+            )
+            if loose:
+                yield self.finding(
+                    module,
+                    node,
+                    f"loose grid keywords ({', '.join(loose)}) to "
+                    "run_campaign were removed; construct a CampaignSpec "
+                    "and pass it as the single positional argument",
+                )
 
     def _check_subscript(
         self, module: ModuleContext, node: ast.Subscript, run_names: set[str]

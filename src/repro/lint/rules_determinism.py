@@ -125,9 +125,21 @@ class UnseededRandomness(Rule):
                 )
 
 
-#: time-module attributes that read the wall clock.
+#: time-module attributes that read the wall clock.  ``monotonic`` and
+#: ``monotonic_ns`` are included: deadline arithmetic belongs to the
+#: transport layer (``src/repro/transport/``, outside this rule's scope),
+#: never to replayed engine/protocol code.
 _WALL_CLOCK_TIME = frozenset(
-    {"time", "time_ns", "localtime", "gmtime", "ctime", "strftime"}
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "strftime",
+    }
 )
 #: datetime constructors that read the wall clock.
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
@@ -154,10 +166,19 @@ class WallClockEntropy(Rule):
     """REP002: no ambient time or entropy in replayed code.
 
     Engine, protocol, adversary, harness, and replay modules must not read
-    ``time.time``/``datetime.now``-style wall clocks, ``os.urandom``, or
-    import :mod:`uuid`/:mod:`secrets` — any such read makes a recorded run
-    unreplayable.  Monotonic profiling clocks (``time.perf_counter`` and
-    friends) are allowed: they inform observers, never control flow.
+    ``time.time``/``datetime.now``-style wall clocks, ``time.monotonic``
+    deadline clocks, ``os.urandom``, or import :mod:`uuid`/:mod:`secrets`
+    — any such read makes a recorded run unreplayable.  The profiling
+    clock ``time.perf_counter`` is allowed: it informs observers, never
+    control flow.
+
+    Scope note: real wall-clock behaviour — connect retry/backoff, link
+    send timeouts — is confined to ``src/repro/transport/``, which is
+    deliberately *outside* this rule's scope; ``time.monotonic`` is
+    permitted there and nowhere else on a replayed path.  The transport
+    surfaces wall-clock effects to the engine only as data (crash faults
+    and :class:`~repro.runtime.observers.LinkSample` metrics), keeping
+    the in-scope layers deterministic.
     """
 
     code = "REP002"

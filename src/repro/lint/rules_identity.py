@@ -35,11 +35,15 @@ _IDENTITY_FIELDS = frozenset(
         "model",
         "model_options",
         "engine",
+        "transport",
+        "transport_options",
     }
 )
 
 #: Option mappings whose stringification must go through canonical_json.
-_OPTION_NAMES = frozenset({"options", "model_options"})
+_OPTION_NAMES = frozenset(
+    {"options", "model_options", "transport_options"}
+)
 
 #: Where cell identity is produced or consumed.
 _SCOPE_DIRS = ("repro/fabric",)

@@ -82,6 +82,13 @@ class ExecutionRecipe:
     #: axis existed imply ``"lockstep"``.
     execution_model: str = "lockstep"
     model_options: Mapping[str, Any] = field(default_factory=dict)
+    #: Transport of the *recorded* run — provenance, not a replay input.
+    #: Replay always runs in-process: a TCP-recorded schedule (including
+    #: transport crash faults, which the recorder sees as ordinary
+    #: corruptions + omissions) deterministically reproduces in a single
+    #: interpreter, which is the cross-transport equivalence guarantee.
+    transport: str = "inprocess"
+    transport_options: Mapping[str, Any] = field(default_factory=dict)
     max_rounds: int | None = None
     actions: tuple[RecordedAction, ...] = ()
     expected: Mapping[str, Any] | None = None
@@ -127,6 +134,8 @@ def recipe_payload(recipe: ExecutionRecipe) -> dict[str, Any]:
         "columnar": recipe.columnar,
         "execution_model": recipe.execution_model,
         "model_options": dict(recipe.model_options),
+        "transport": recipe.transport,
+        "transport_options": dict(recipe.transport_options),
         "max_rounds": recipe.max_rounds,
         "actions": [
             {
@@ -175,6 +184,9 @@ def recipe_from_payload(data: Mapping[str, Any]) -> ExecutionRecipe:
         # Pre-model-axis recipes recorded lockstep executions.
         execution_model=data.get("execution_model", "lockstep"),
         model_options=dict(data.get("model_options") or {}),
+        # Pre-transport-axis recipes recorded in-process executions.
+        transport=data.get("transport", "inprocess"),
+        transport_options=dict(data.get("transport_options") or {}),
         max_rounds=data.get("max_rounds"),
         actions=tuple(
             RecordedAction(

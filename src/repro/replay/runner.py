@@ -131,6 +131,8 @@ def record(
     columnar: bool | None = None,
     model: str | None = None,
     model_options: Mapping[str, Any] | None = None,
+    transport: str | None = None,
+    transport_options: Mapping[str, Any] | None = None,
     invariants: bool = True,
     note: str = "",
     **extra_options: Any,
@@ -148,8 +150,16 @@ def record(
     ``REPRO_EXECUTION_MODEL`` before defaulting to lockstep); the resolved
     name and its options are stored in the recipe, so replay reproduces
     the same model regardless of the replaying environment.
+
+    ``transport`` names where the recorded run hosts its processes
+    (``None`` means in-process; there is deliberately no environment
+    default).  The resolved name and options are stored as *provenance*:
+    :func:`replay` always re-executes in-process, so a run recorded over
+    real TCP worker processes verifies against the same fingerprint in a
+    single interpreter — the cross-transport equivalence check.
     """
     from ..runtime import default_model_name
+    from ..transport import default_transport_name
 
     merged: dict[str, Any] = dict(options or {})
     merged.update(extra_options)
@@ -158,6 +168,10 @@ def record(
     )
     resolved_model = model if model is not None else default_model_name()
     resolved_model_options = dict(model_options or {})
+    resolved_transport = (
+        transport if transport is not None else default_transport_name()
+    )
+    resolved_transport_options = dict(transport_options or {})
     recorder = RecipeRecorder()
     attached: list[RoundObserver] = [recorder]
     if invariants:
@@ -183,6 +197,8 @@ def record(
             columnar=columnar,
             model=resolved_model,
             model_options=resolved_model_options,
+            transport=resolved_transport,
+            transport_options=resolved_transport_options,
         )
     except RECORDABLE_FAILURES as exc:
         failure = exc
@@ -200,6 +216,8 @@ def record(
         columnar=columnar,
         execution_model=resolved_model,
         model_options=resolved_model_options,
+        transport=resolved_transport,
+        transport_options=resolved_transport_options,
         max_rounds=max_rounds,
         actions=tuple(recorder.actions),
         expected=(
@@ -306,6 +324,12 @@ def replay(
     comes from the recipe itself (never the environment); ``model``
     overrides it explicitly, which cross-model equivalence tests use to
     replay a lockstep recording under partial synchrony and vice versa.
+
+    Replay always runs in-process, whatever transport the recipe records:
+    the recorded schedule (transport crash faults included — the engine
+    arbitrated them into ordinary corruptions and omissions) is a
+    deterministic function of (seed, actions), so a TCP-recorded recipe
+    verifies byte-for-byte in a single interpreter.
     """
     if strict is None:
         strict = not recipe.failing

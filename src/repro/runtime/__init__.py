@@ -57,6 +57,7 @@ from .models import (
     resolve_model,
 )
 from .observers import (
+    LinkSample,
     MetricsObserver,
     RoundObserver,
     RoundProfiler,
@@ -141,6 +142,7 @@ __all__ = [
     "SyncProcess",
     "idle_rounds",
     "receive_round",
+    "LinkSample",
     "MetricsObserver",
     "RoundObserver",
     "RoundProfiler",

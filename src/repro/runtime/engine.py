@@ -21,6 +21,7 @@ from typing import Any
 
 from .messages import Message, MessageBatch, MessageRecord
 from .metrics import Metrics
+from .observers import LinkSample
 from .process import ProcessEnv, Program, SyncProcess
 from .randomness import CountingRandom, derive_seeds
 
@@ -213,6 +214,27 @@ class ExecutionCore:
         fork_seeds = derive_seeds(fork_seed, self.n, salt="fork")
         for source, per_process_seed in zip(self.sources, fork_seeds):
             source.reseed(per_process_seed)
+
+    # ------------------------------------------------------------------
+    # Transport surface.  The base core is fully in-process: it owns no
+    # external resources, detects no crash faults, and measures no links.
+    # Transport-backed cores (``repro.transport``) override all three.
+    def close(self) -> None:
+        """Release transport resources (idempotent; no-op in-process)."""
+
+    def drain_faults(self) -> frozenset[int]:
+        """Process ids newly crash-faulted by the transport since the
+        last drain.  :meth:`SyncNetwork._apply_adversary` folds them into
+        the round's corruptions and omits their in-flight copies, so a
+        dead worker lands inside the paper's omission-fault model instead
+        of hanging the run."""
+        return frozenset()
+
+    def drain_link_samples(self) -> tuple[LinkSample, ...]:
+        """Per-link transport measurements since the last drain (consumed
+        by ``SyncNetwork._dispatch_round_end`` for the ``on_transport``
+        observer hook)."""
+        return ()
 
     # ------------------------------------------------------------------
     def record_randomness(self) -> None:

@@ -52,6 +52,5 @@ class LockstepModel(RoundModel):
                 observer.on_messages_sent(network.round, outbound, network)
             omitted = network._apply_adversary(outbound)
             network._deliver(outbound, omitted)
-            for observer in observers:
-                observer.on_round_end(network.round, network)
+            network._dispatch_round_end()
             network.round += 1

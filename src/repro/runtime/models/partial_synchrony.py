@@ -159,8 +159,7 @@ class PartialSynchronyModel(RoundModel):
                 observer.on_messages_sent(network.round, outbound, network)
             omitted = network._apply_adversary(outbound)
             self._deliver_round(network, outbound, omitted)
-            for observer in observers:
-                observer.on_round_end(network.round, network)
+            network._dispatch_round_end()
             network.round += 1
 
     # ------------------------------------------------------------------

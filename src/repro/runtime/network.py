@@ -27,8 +27,9 @@ The engine never trusts the strategy: illegal actions raise
 Instrumentation rides a first-class observer bus
 (:class:`repro.runtime.observers.RoundObserver`): the engine natively
 dispatches ``on_run_start`` / ``on_round_start`` / ``on_messages_sent`` /
-``on_adversary_action`` / ``on_deliveries`` / ``on_round_end`` /
-``on_run_end``.  The :class:`Metrics` accounting itself is the first
+``on_adversary_action`` / ``on_deliveries`` / ``on_transport`` (rounds
+with real-link measurements only) / ``on_round_end`` / ``on_run_end``.
+The :class:`Metrics` accounting itself is the first
 observer on every network, so tracers and profilers see consistent series
 without wrapping the adversary or monkeypatching hooks.
 """
@@ -49,6 +50,7 @@ from .process import SyncProcess
 from .randomness import stable_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..transport import Transport
     from .models import RoundModel
 
 __all__ = [
@@ -267,6 +269,15 @@ class SyncNetwork:
     remains the adversary-arbitration and observer-dispatch surface: view
     construction, action validation, and the fixed hook sequence all live
     here, identically for every model.
+
+    The ``transport`` axis (:mod:`repro.transport`) decides *where* the
+    processes physically execute: the default in-process transport keeps
+    today's zero-overhead single-interpreter core, while the TCP
+    transport places them in real OS worker processes behind the same
+    :class:`~repro.runtime.engine.ExecutionCore` surface — crash faults
+    it detects are folded into the adversary arbitration as corruptions
+    plus omissions, and its per-link measurements reach observers via the
+    ``on_transport`` hook.
     """
 
     def __init__(
@@ -282,8 +293,18 @@ class SyncNetwork:
         columnar: bool | None = None,
         model: RoundModel | str | None = None,
         model_options: Mapping[str, Any] | None = None,
+        transport: Transport | str | None = None,
+        transport_options: Mapping[str, Any] | None = None,
     ) -> None:
-        self._core = ExecutionCore(processes, seed=seed, multicast=multicast)
+        from ..transport import resolve_transport
+
+        #: The transport layer: where process execution physically lives
+        #: (in this interpreter by default; real OS processes over
+        #: localhost TCP with ``transport="tcp"``).
+        self.transport = resolve_transport(transport, transport_options)
+        self._core = self.transport.create_core(
+            processes, seed=seed, multicast=multicast
+        )
         n = self._core.n
         if t < 0 or t >= n:
             raise ValueError(f"fault budget t={t} must satisfy 0 <= t < n={n}")
@@ -418,18 +439,38 @@ class SyncNetwork:
         )
         action = self.adversary.act(view)
 
-        new_corruptions = set(action.corrupt) - self.faulty
+        # Crash faults detected by the transport (a worker process died or
+        # a link timed out) are arbitrated exactly like adversarial
+        # corruptions: they consume the same t budget, and every copy the
+        # dead processes touched this round is omitted — so real network
+        # failures land inside the paper's omission-fault model rather
+        # than outside the metering identity.
+        transport_faults = self._core.drain_faults() - frozenset(self.faulty)
+
+        new_corruptions = (set(action.corrupt) | transport_faults) - self.faulty
         if len(self.faulty) + len(new_corruptions) > self.t:
+            detail = (
+                f" (of which transport crash faults: "
+                f"{sorted(transport_faults)})"
+                if transport_faults
+                else ""
+            )
             raise AdversaryProtocolError(
                 f"corruption budget exceeded: have {len(self.faulty)}, "
                 f"tried to add {len(new_corruptions)}, budget t={self.t}"
+                + detail
             )
         for pid in sorted(new_corruptions):
             if not 0 <= pid < self.n:
                 raise AdversaryProtocolError(f"cannot corrupt unknown pid {pid}")
         self.faulty |= new_corruptions
 
-        omit = canonical_omissions(action.omit)
+        raw_omit: Iterable[int] = action.omit
+        if transport_faults:
+            raw_omit = set(action.omit) | view.message_indices_touching(
+                transport_faults
+            )
+        omit = canonical_omissions(raw_omit)
         if omit:
             # Legality is delegated to the delivery backend (the layer
             # that understands the batch representation); canonical order
@@ -438,7 +479,8 @@ class SyncNetwork:
                 batch, omit, frozenset(self.faulty)
             )
         canonical = AdversaryAction(
-            corrupt=frozenset(action.corrupt), omit=frozenset(omit)
+            corrupt=frozenset(action.corrupt) | transport_faults,
+            omit=frozenset(omit),
         )
         for observer in self._observers:
             observer.on_adversary_action(self.round, view, canonical, self)
@@ -462,6 +504,38 @@ class SyncNetwork:
             observer.on_deliveries(
                 self.round, receipt.delivered, receipt.lost, self
             )
+
+    def _dispatch_round_end(self) -> None:
+        """Round epilogue: transport link metrics (if any), then
+        ``on_round_end``.
+
+        Round models call this once per round instead of dispatching
+        ``on_round_end`` themselves, so :class:`LinkSample` measurements
+        drained from a transport-backed core reach the ``on_transport``
+        hook identically under every timing discipline.
+        """
+        samples = self._core.drain_link_samples()
+        if samples:
+            for observer in self._observers:
+                observer.on_transport(self.round, samples, self)
+        for observer in self._observers:
+            observer.on_round_end(self.round, self)
+
+    def _absorb_residual_faults(self) -> None:
+        """Fold crash faults the transport detected after the last
+        adversary arbitration (e.g. a worker dying during the terminal
+        local-computation phase) into the faulty set, still within the
+        corruption budget."""
+        residual = self._core.drain_faults() - frozenset(self.faulty)
+        if not residual:
+            return
+        if len(self.faulty) + len(residual) > self.t:
+            raise AdversaryProtocolError(
+                f"corruption budget exceeded: have {len(self.faulty)}, "
+                f"transport crash faults add {sorted(residual)}, "
+                f"budget t={self.t}"
+            )
+        self.faulty |= residual
 
     def current_decisions(self) -> dict[int, Any]:
         return self._core.current_decisions()
@@ -487,7 +561,14 @@ class SyncNetwork:
         for observer in observers:
             observer.on_run_start(self)
 
-        self.model.run_rounds(self)
+        try:
+            self.model.run_rounds(self)
+            self._absorb_residual_faults()
+        finally:
+            # Graceful shutdown of transport resources (worker processes,
+            # sockets) whether the run finished or raised mid-round; a
+            # no-op for the in-process transport.
+            self._core.close()
 
         self._core.record_randomness()
         result = self._core.build_result(frozenset(self.faulty))

@@ -3,8 +3,13 @@
 :class:`SyncNetwork` dispatches a fixed sequence of hooks every round:
 
 ``on_run_start`` → [``on_round_start`` → ``on_messages_sent`` →
-``on_adversary_action`` → ``on_deliveries`` → ``on_round_end``]* →
-``on_run_end``
+``on_adversary_action`` → ``on_deliveries`` → [``on_transport``] →
+``on_round_end``]* → ``on_run_end``
+
+``on_transport`` fires only on rounds where the execution's transport
+(:mod:`repro.transport`) measured real network links — never for the
+default in-process transport — with the round's :class:`LinkSample`
+measurements.
 
 Observers are passive: they see the same objects the engine works with
 (the network, the :class:`NetworkView` handed to the adversary, the
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from .messages import Message, MessageBatch
@@ -31,6 +37,28 @@ from .metrics import Metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from .network import AdversaryAction, ExecutionResult, NetworkView, SyncNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSample:
+    """One measured coordinator↔worker link exchange.
+
+    Produced by transport-backed execution cores (:mod:`repro.transport`)
+    and dispatched to observers through :meth:`RoundObserver.on_transport`.
+    A sample with ``round == -1`` measures the connection handshake
+    (``retries`` is then the worker's connect retry count); per-round
+    samples measure one step round-trip.  ``ok=False`` marks the exchange
+    that failed and crash-faulted the link's processes.
+    """
+
+    worker: int
+    pids: tuple[int, ...]
+    round: int
+    latency_s: float
+    bytes_sent: int
+    bytes_received: int
+    retries: int = 0
+    ok: bool = True
 
 
 class RoundObserver:
@@ -77,6 +105,16 @@ class RoundObserver:
         ``delivered`` reached a live recipient; ``lost`` survived the
         adversary but its recipient had already terminated.
         """
+
+    def on_transport(
+        self,
+        round_no: int,
+        samples: Sequence[LinkSample],
+        network: SyncNetwork,
+    ) -> None:
+        """Called before ``on_round_end`` on rounds where the transport
+        measured real network links (:class:`LinkSample` round-trips);
+        never fires for the default in-process transport."""
 
     def on_round_end(self, round_no: int, network: SyncNetwork) -> None:
         """Called at the very end of the round, before the counter advances."""

@@ -1,0 +1,83 @@
+"""Transport abstraction: *where* an execution's processes physically run.
+
+The engine's three layers (scheduler / delivery / execution,
+:mod:`repro.runtime`) decide *when* processes advance and *how* traffic
+reaches inboxes; a :class:`Transport` decides where the process programs
+execute.  It is a factory for the run's
+:class:`~repro.runtime.engine.ExecutionCore`:
+
+* :class:`~repro.transport.inprocess.InProcessTransport` (the default)
+  returns the plain in-interpreter core — zero overhead, today's
+  behavior, byte-identical to every execution before the transport axis
+  existed;
+* :class:`~repro.transport.tcp.AsyncioTcpTransport` returns a
+  coordinator core that places the processes in real OS worker processes
+  speaking length-prefixed frames over localhost TCP.
+
+Every transport-backed core honours the same contract as the in-process
+core: per-process randomness is derived from ``(seed, pid)`` regardless
+of hosting location, inboxes/outboxes cross the boundary byte-for-byte,
+and transport failures surface through
+:meth:`~repro.runtime.engine.ExecutionCore.drain_faults` as crash faults
+the network arbitrates inside the paper's omission model — never as
+hangs, and never outside the ``sent == delivered + omitted + lost +
+in-flight`` metering identity.
+
+Wall-clock note (lint rule REP002): ``time.monotonic`` and friends are
+permitted *only* under ``src/repro/transport/`` — real links need real
+timeouts — and must never influence protocol semantics, only fault
+detection and :class:`~repro.runtime.observers.LinkSample` measurements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any, ClassVar
+
+from ..runtime.engine import ExecutionCore
+from ..runtime.process import SyncProcess
+
+__all__ = ["Transport", "TransportError"]
+
+
+class TransportError(RuntimeError):
+    """Raised when a transport cannot be brought up or torn down.
+
+    Failures *during* a run (a worker dying mid-round, a link timeout)
+    do not raise this — they surface as crash faults via
+    :meth:`~repro.runtime.engine.ExecutionCore.drain_faults` so the run
+    completes inside the fault model.  ``TransportError`` is reserved for
+    setup/teardown problems: workers that never connected, bad
+    handshakes, invalid options.
+    """
+
+
+class Transport(ABC):
+    """One process-hosting discipline (see the module docstring).
+
+    Transports are addressed by registry name
+    (:func:`repro.transport.resolve_transport`); instances are
+    stateless factories and may be reused across runs.
+    """
+
+    #: Registry key; also serialized into campaign records and recipes.
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def create_core(
+        self,
+        processes: Sequence[SyncProcess],
+        *,
+        seed: int,
+        multicast: bool,
+    ) -> ExecutionCore:
+        """Build the execution core hosting ``processes`` for one run."""
+
+    def options_payload(self) -> dict[str, Any]:
+        """JSON-safe constructor options, for identity serialization.
+
+        Must round-trip: ``create_transport(self.name, payload)`` builds
+        an equivalent transport.
+        """
+        return {}

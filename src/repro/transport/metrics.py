@@ -1,0 +1,87 @@
+"""Per-link transport metrics, collected off the observer bus.
+
+:class:`LinkMetricsObserver` accumulates every
+:class:`~repro.runtime.observers.LinkSample` a transport-backed run
+dispatches through the ``on_transport`` hook and summarizes them
+per worker link — frames, bytes, latency, connect retries, failures.
+The summary is JSON-safe; the CI transport-smoke job uploads it as the
+per-link latency metrics artifact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+from ..runtime.observers import LinkSample, RoundObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..runtime.network import SyncNetwork
+
+__all__ = ["LinkMetricsObserver"]
+
+
+class LinkMetricsObserver(RoundObserver):
+    """Collects the run's :class:`LinkSample` stream (passive)."""
+
+    def __init__(self) -> None:
+        self.samples: list[LinkSample] = []
+
+    def on_transport(
+        self,
+        round_no: int,
+        samples: Sequence[LinkSample],
+        network: SyncNetwork,
+    ) -> None:
+        self.samples.extend(samples)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe per-link aggregation of the collected samples."""
+        per_worker: dict[int, dict[str, Any]] = {}
+        for sample in self.samples:
+            entry = per_worker.setdefault(
+                sample.worker,
+                {
+                    "worker": sample.worker,
+                    "pids": list(sample.pids),
+                    "frames": 0,
+                    "failures": 0,
+                    "connect_retries": 0,
+                    "connect_latency_s": None,
+                    "bytes_sent": 0,
+                    "bytes_received": 0,
+                    "latency_s_total": 0.0,
+                    "latency_s_max": 0.0,
+                },
+            )
+            if sample.round < 0:
+                entry["connect_retries"] = sample.retries
+                entry["connect_latency_s"] = sample.latency_s
+                continue
+            entry["frames"] += 1
+            if not sample.ok:
+                entry["failures"] += 1
+            entry["bytes_sent"] += sample.bytes_sent
+            entry["bytes_received"] += sample.bytes_received
+            entry["latency_s_total"] += sample.latency_s
+            entry["latency_s_max"] = max(
+                entry["latency_s_max"], sample.latency_s
+            )
+        links = []
+        for worker in sorted(per_worker):
+            entry = per_worker[worker]
+            frames = entry.pop("latency_s_total"), entry["frames"]
+            entry["latency_s_mean"] = (
+                frames[0] / frames[1] if frames[1] else 0.0
+            )
+            links.append(entry)
+        return {
+            "links": links,
+            "frames": sum(entry["frames"] for entry in links),
+            "failures": sum(entry["failures"] for entry in links),
+            "bytes_sent": sum(entry["bytes_sent"] for entry in links),
+            "bytes_received": sum(
+                entry["bytes_received"] for entry in links
+            ),
+        }

@@ -1,0 +1,541 @@
+"""The asyncio-TCP transport: real OS processes over localhost frames.
+
+``AsyncioTcpTransport`` places an execution's consensus processes in
+real worker OS processes (``python -m repro.transport.worker``), each
+hosting a contiguous pid block, all dialing a loopback listener owned by
+the coordinator.  The coordinator is a
+:class:`~repro.runtime.engine.ExecutionCore` subclass
+(:class:`RemoteExecutionCore`) so the whole engine — round models,
+delivery backends, adversary arbitration, observers, record/replay —
+drives it unchanged:
+
+* :meth:`RemoteExecutionCore.advance` fans one ``step`` frame out to
+  every live worker concurrently (asyncio), each carrying the hosted
+  pids' inboxes and collecting their outbound records; blocks are
+  contiguous and workers advance pids in ascending order, so the
+  concatenated batch keeps the engine's sender-sorted invariant.
+* Per-link send timeouts and dead connections surface as *crash faults*
+  via :meth:`drain_faults` — the network folds them into the round's
+  corruptions and omits their in-flight copies, preserving
+  ``sent == delivered + omitted + lost + Δin-flight`` instead of hanging.
+* Every round-trip is measured into a
+  :class:`~repro.runtime.observers.LinkSample` (drained per round for
+  the ``on_transport`` observer hook).
+
+Determinism: per-process randomness is seeded from the same
+``derive_seeds(seed, n)`` table as the in-process core (indexed by pid
+inside each worker), and inbox contents are the delivery backend's exact
+output shipped byte-for-byte — so a fault-free TCP execution is
+fingerprint-identical to the in-process one, and its recorded recipe
+replays in-process deterministically.  Runs where the transport itself
+faulted replay the *recorded schedule* (the faults became recorded
+corruptions/omissions) but are not promised fingerprint-identical: the
+dead processes' unsent traffic never entered the record.
+
+This module is inside the REP002 wall-clock carve-out
+(``src/repro/transport/`` only): ``time.monotonic`` is used for
+timeouts and latency measurement, never for protocol decisions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from ..runtime.engine import ExecutionCore
+from ..runtime.messages import Message, MessageBatch, MessageRecord
+from ..runtime.observers import LinkSample
+from ..runtime.process import SyncProcess
+from .base import Transport, TransportError
+from .framing import FramingError, encode_frame, read_frame
+
+__all__ = ["AsyncioTcpTransport", "RemoteExecutionCore"]
+
+#: Exceptions that mean "this link is gone" rather than "this run is
+#: broken": the step that hit one crash-faults the link's processes.
+_LINK_FAILURES = (
+    TimeoutError,
+    asyncio.IncompleteReadError,
+    ConnectionError,
+    BrokenPipeError,
+    FramingError,
+    OSError,
+)
+
+
+class AsyncioTcpTransport(Transport):
+    """Consensus processes as real OS processes over localhost TCP.
+
+    Parameters
+    ----------
+    processes_per_worker:
+        How many consensus processes each worker OS process hosts
+        (contiguous pid blocks).  ``1`` — the default — is one OS process
+        per consensus process; larger values bound the spawn cost for
+        big ``n``.
+    host:
+        Loopback interface to listen on.  Non-loopback hosts are
+        rejected: frames are pickled and must never leave the machine.
+    connect_timeout_s:
+        Wall-clock budget for all workers to dial in at setup
+        (workers retry with exponential backoff inside this budget).
+    link_timeout_s:
+        Per-link budget for one step round-trip (send + compute +
+        reply).  A link that exceeds it is crash-faulted and its
+        processes' in-flight copies become omissions.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        *,
+        processes_per_worker: int = 1,
+        host: str = "127.0.0.1",
+        connect_timeout_s: float = 20.0,
+        link_timeout_s: float = 30.0,
+    ) -> None:
+        if processes_per_worker < 1:
+            raise ValueError(
+                f"processes_per_worker={processes_per_worker} must be >= 1"
+            )
+        if not (host == "localhost" or host.startswith("127.")):
+            raise ValueError(
+                f"host={host!r} is not a loopback address; the TCP "
+                "transport speaks pickle frames and must stay on-machine"
+            )
+        if connect_timeout_s <= 0:
+            raise ValueError(
+                f"connect_timeout_s={connect_timeout_s} must be > 0"
+            )
+        if link_timeout_s <= 0:
+            raise ValueError(f"link_timeout_s={link_timeout_s} must be > 0")
+        self.processes_per_worker = processes_per_worker
+        self.host = host
+        self.connect_timeout_s = connect_timeout_s
+        self.link_timeout_s = link_timeout_s
+
+    def options_payload(self) -> dict[str, Any]:
+        return {
+            "processes_per_worker": self.processes_per_worker,
+            "host": self.host,
+            "connect_timeout_s": self.connect_timeout_s,
+            "link_timeout_s": self.link_timeout_s,
+        }
+
+    def create_core(
+        self,
+        processes: Sequence[SyncProcess],
+        *,
+        seed: int,
+        multicast: bool,
+    ) -> ExecutionCore:
+        return RemoteExecutionCore(
+            processes, seed=seed, multicast=multicast, transport=self
+        )
+
+
+class _WorkerLink:
+    """Coordinator-side state of one worker connection."""
+
+    __slots__ = (
+        "index",
+        "pids",
+        "process",
+        "reader",
+        "writer",
+        "alive",
+        "connect_retries",
+    )
+
+    def __init__(self, index: int, pids: tuple[int, ...]) -> None:
+        self.index = index
+        self.pids = pids
+        self.process: subprocess.Popen[bytes] | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.alive = True
+        self.connect_retries = 0
+
+
+def _worker_environment() -> dict[str, str]:
+    """Child env with this repro package importable, whatever spawned us."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    return env
+
+
+class RemoteExecutionCore(ExecutionCore):
+    """ExecutionCore whose local-computation phase runs in OS workers.
+
+    The base-class containers become coordinator-side mirrors: ``envs``
+    hold decisions/termination synced from worker replies, ``sources``
+    mirror the workers' randomness counters, ``programs`` track liveness
+    (the mirror generators are never advanced), and ``inboxes`` are the
+    slots delivery backends write into — their contents ship to the
+    owning worker on the next step.  Everything the network and the
+    result assembly read (``live_count``, ``current_decisions``,
+    ``build_result``, …) therefore works unchanged from the base class.
+    """
+
+    __slots__ = (
+        "_transport",
+        "_multicast",
+        "_links",
+        "_loop",
+        "_server",
+        "_token",
+        "_faults",
+        "_samples",
+        "_pending_reseed",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        processes: Sequence[SyncProcess],
+        *,
+        seed: int,
+        multicast: bool,
+        transport: AsyncioTcpTransport,
+    ) -> None:
+        super().__init__(processes, seed=seed, multicast=multicast)
+        self._transport = transport
+        self._multicast = multicast
+        self._faults: set[int] = set()
+        self._samples: list[LinkSample] = []
+        self._pending_reseed: int | None = None
+        self._closed = False
+        self._server: asyncio.AbstractServer | None = None
+        self._token = os.urandom(16).hex()
+        per_worker = transport.processes_per_worker
+        self._links = [
+            _WorkerLink(index, tuple(range(start, min(start + per_worker, self.n))))
+            for index, start in enumerate(range(0, self.n, per_worker))
+        ]
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._start())
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    async def _start(self) -> None:
+        connections: asyncio.Queue[
+            tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = asyncio.Queue()
+
+        async def on_connect(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            await connections.put((reader, writer))
+
+        transport = self._transport
+        self._server = await asyncio.start_server(
+            on_connect, host=transport.host, port=0
+        )
+        sockets = self._server.sockets
+        assert sockets, "asyncio.start_server returned no sockets"
+        port = int(sockets[0].getsockname()[1])
+
+        started = time.monotonic()
+        environment = _worker_environment()
+        for link in self._links:
+            link.process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.transport.worker",
+                    "--host",
+                    transport.host,
+                    "--port",
+                    str(port),
+                    "--token",
+                    self._token,
+                    "--worker",
+                    str(link.index),
+                    "--connect-timeout",
+                    str(transport.connect_timeout_s),
+                ],
+                stdin=subprocess.DEVNULL,
+                stdout=subprocess.DEVNULL,
+                env=environment,
+            )
+
+        deadline = started + transport.connect_timeout_s
+        waiting = {link.index for link in self._links}
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"workers {sorted(waiting)} did not connect within "
+                    f"{transport.connect_timeout_s:.1f}s"
+                )
+            try:
+                reader, writer = await asyncio.wait_for(
+                    connections.get(), timeout=remaining
+                )
+                hello, received = await asyncio.wait_for(
+                    read_frame(reader), timeout=remaining
+                )
+            except TimeoutError:
+                continue
+            except _LINK_FAILURES:
+                continue
+            if not (
+                isinstance(hello, tuple)
+                and len(hello) == 2
+                and hello[0] == "hello"
+                and isinstance(hello[1], dict)
+                and hello[1].get("token") == self._token
+                and hello[1].get("worker") in waiting
+            ):
+                # Wrong token or malformed hello: drop the connection and
+                # keep waiting for the real workers within the deadline.
+                writer.close()
+                continue
+            index = int(hello[1]["worker"])
+            waiting.discard(index)
+            link = self._links[index]
+            link.reader = reader
+            link.writer = writer
+            link.connect_retries = int(hello[1].get("retries", 0))
+            self._samples.append(
+                LinkSample(
+                    worker=index,
+                    pids=link.pids,
+                    round=-1,
+                    latency_s=time.monotonic() - started,
+                    bytes_sent=0,
+                    bytes_received=received,
+                    retries=link.connect_retries,
+                )
+            )
+
+        for link in self._links:
+            writer = link.writer
+            assert writer is not None
+            setup = (
+                "setup",
+                {
+                    "pids": link.pids,
+                    "processes": [self.processes[pid] for pid in link.pids],
+                    "n": self.n,
+                    "seed": self.seed,
+                    "multicast": self._multicast,
+                },
+            )
+            writer.write(encode_frame(setup))
+            await asyncio.wait_for(
+                writer.drain(), timeout=transport.link_timeout_s
+            )
+
+    def close(self) -> None:
+        """Graceful shutdown: fini frames, closed streams, reaped workers.
+
+        Idempotent; called by ``SyncNetwork.run`` in a ``finally`` block
+        so worker processes never outlive their run, even on errors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._loop.is_closed():
+            try:
+                self._loop.run_until_complete(self._shutdown_streams())
+            finally:
+                self._loop.close()
+        for link in self._links:
+            process = link.process
+            if process is None or process.poll() is not None:
+                continue
+            try:
+                process.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+
+    async def _shutdown_streams(self) -> None:
+        fini = encode_frame(("fini", {}))
+        for link in self._links:
+            writer = link.writer
+            if writer is None:
+                continue
+            if link.alive:
+                try:
+                    writer.write(fini)
+                    await asyncio.wait_for(writer.drain(), timeout=1.0)
+                except _LINK_FAILURES:
+                    pass
+            try:
+                writer.close()
+                await asyncio.wait_for(writer.wait_closed(), timeout=1.0)
+            except _LINK_FAILURES:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Per-round execution
+    def advance(self, round_no: int) -> MessageBatch:
+        steps: list[tuple[_WorkerLink, dict[int, list[Message]]]] = []
+        for link in self._links:
+            if not link.alive:
+                continue
+            live = [pid for pid in link.pids if self.programs[pid] is not None]
+            if not live:
+                continue
+            inbox_map: dict[int, list[Message]] = {}
+            for pid in live:
+                box = self.inboxes[pid]
+                # Columnar rounds leave lazy views in the slots;
+                # materialize to plain (picklable) Message lists.
+                inbox_map[pid] = box if isinstance(box, list) else list(box)
+                self.inboxes[pid] = []
+            steps.append((link, inbox_map))
+        reseed = self._pending_reseed
+        self._pending_reseed = None
+        if not steps:
+            return MessageBatch([])
+        outs = self._loop.run_until_complete(
+            self._step_all(steps, round_no, reseed)
+        )
+        records: list[MessageRecord] = []
+        for (link, _), out in zip(steps, outs):
+            if out is None:
+                self._fail_link(link)
+                continue
+            for pid in out["terminated"]:
+                self.programs[pid] = None
+            for pid, (value, decided_round) in out["decisions"].items():
+                env = self.envs[pid]
+                env.decision = value
+                env.has_decided = True
+                env.decision_round = decided_round
+            for pid, (calls, bits_drawn) in out["randomness"].items():
+                source = self.sources[pid]
+                source.calls = calls
+                source.bits_drawn = bits_drawn
+            records.extend(out["records"])
+        # Contiguous ascending pid blocks advanced in ascending pid order
+        # inside each worker: concatenation in link order keeps the
+        # batch's sender-sorted invariant.
+        return MessageBatch(records)
+
+    async def _step_all(
+        self,
+        steps: Sequence[tuple[_WorkerLink, dict[int, list[Message]]]],
+        round_no: int,
+        reseed: int | None,
+    ) -> list[dict[str, Any] | None]:
+        return await asyncio.gather(
+            *(
+                self._step_link(link, inbox_map, round_no, reseed)
+                for link, inbox_map in steps
+            )
+        )
+
+    async def _step_link(
+        self,
+        link: _WorkerLink,
+        inbox_map: dict[int, list[Message]],
+        round_no: int,
+        reseed: int | None,
+    ) -> dict[str, Any] | None:
+        reader, writer = link.reader, link.writer
+        assert reader is not None and writer is not None
+        data = encode_frame(
+            ("step", {"round": round_no, "reseed": reseed, "inboxes": inbox_map})
+        )
+        started = time.monotonic()
+        timeout = self._transport.link_timeout_s
+        try:
+            writer.write(data)
+            await asyncio.wait_for(writer.drain(), timeout=timeout)
+            reply, received = await asyncio.wait_for(
+                read_frame(reader), timeout=timeout
+            )
+        except _LINK_FAILURES:
+            self._samples.append(
+                LinkSample(
+                    worker=link.index,
+                    pids=link.pids,
+                    round=round_no,
+                    latency_s=time.monotonic() - started,
+                    bytes_sent=len(data),
+                    bytes_received=0,
+                    ok=False,
+                )
+            )
+            return None
+        if not (
+            isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "out"
+        ):
+            self._samples.append(
+                LinkSample(
+                    worker=link.index,
+                    pids=link.pids,
+                    round=round_no,
+                    latency_s=time.monotonic() - started,
+                    bytes_sent=len(data),
+                    bytes_received=received,
+                    ok=False,
+                )
+            )
+            return None
+        self._samples.append(
+            LinkSample(
+                worker=link.index,
+                pids=link.pids,
+                round=round_no,
+                latency_s=time.monotonic() - started,
+                bytes_sent=len(data),
+                bytes_received=received,
+            )
+        )
+        out: dict[str, Any] = reply[1]
+        return out
+
+    def _fail_link(self, link: _WorkerLink) -> None:
+        """Crash-fault a link: its live pids become transport faults."""
+        link.alive = False
+        for pid in link.pids:
+            if self.programs[pid] is not None:
+                self.programs[pid] = None
+                self._faults.add(pid)
+        writer = link.writer
+        if writer is not None:
+            writer.close()
+        process = link.process
+        if process is not None and process.poll() is None:
+            process.terminate()
+
+    # ------------------------------------------------------------------
+    # Transport surface consumed by SyncNetwork
+    def reseed(self, fork_seed: int) -> None:
+        # Applied by each worker before its next local-computation phase —
+        # the same reseed-before-advance point as the in-process core
+        # (maybe_reseed precedes advance in every round model).
+        self._pending_reseed = fork_seed
+
+    def drain_faults(self) -> frozenset[int]:
+        faults = frozenset(self._faults)
+        self._faults.clear()
+        return faults
+
+    def drain_link_samples(self) -> tuple[LinkSample, ...]:
+        samples = tuple(self._samples)
+        self._samples.clear()
+        return samples

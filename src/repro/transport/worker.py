@@ -1,0 +1,206 @@
+"""The TCP transport's worker process: ``python -m repro.transport.worker``.
+
+One worker hosts a contiguous block of consensus processes.  It dials
+the coordinator's loopback listener (with retry/backoff — the listener
+and the worker race at startup), authenticates with the per-run token,
+receives its process block, and then serves one ``step`` frame per
+round: resume every hosted live program with the inbox the coordinator
+shipped, reply with the queued outbound records, newly terminated pids,
+current decisions, and randomness counters.
+
+The shard mirrors :meth:`repro.runtime.engine.ExecutionCore.advance`
+exactly — same pid order, same round-0 ``next`` vs ``send`` resumption,
+same outbox/inbox reset semantics — and seeds each hosted process's
+:class:`~repro.runtime.randomness.CountingRandom` from the *same*
+``derive_seeds(seed, n)`` table the in-process core uses, indexed by
+pid.  Process randomness therefore does not depend on where a process is
+hosted, which is what makes TCP executions replay byte-identically
+in-process from their recorded recipes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import time
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..runtime.messages import Message, MessageRecord
+from ..runtime.process import ProcessEnv, Program, SyncProcess
+from ..runtime.randomness import CountingRandom, derive_seeds
+from .base import TransportError
+from .framing import recv_frame, send_frame
+
+__all__ = ["ProcessShard", "connect_with_backoff", "main"]
+
+
+class ProcessShard:
+    """The hosted block of processes and their per-round advancement."""
+
+    def __init__(
+        self,
+        processes: Sequence[SyncProcess],
+        n: int,
+        seed: int,
+        multicast: bool,
+    ) -> None:
+        # Index the full derivation table by hosted pid: randomness is a
+        # function of (seed, pid), never of worker placement.
+        seeds = derive_seeds(seed, n, salt="process-randomness")
+        self.n = n
+        self.pids = [process.pid for process in processes]
+        self.sources: dict[int, CountingRandom] = {}
+        self.envs: dict[int, ProcessEnv] = {}
+        self.programs: dict[int, Program | None] = {}
+        for process in processes:
+            pid = process.pid
+            source = CountingRandom(seeds[pid])
+            env = ProcessEnv(pid, n, source)
+            if not multicast:
+                env.expand_multicast = True
+            self.sources[pid] = source
+            self.envs[pid] = env
+            self.programs[pid] = process.program(env)
+
+    def step(
+        self,
+        round_no: int,
+        inboxes: Mapping[int, Sequence[Message]],
+        reseed: int | None,
+    ) -> dict[str, Any]:
+        """One local-computation phase over the hosted live processes."""
+        if reseed is not None:
+            fork_seeds = derive_seeds(reseed, self.n, salt="fork")
+            for pid, source in self.sources.items():
+                source.reseed(fork_seeds[pid])
+        records: list[MessageRecord] = []
+        terminated: list[int] = []
+        for pid in self.pids:
+            program = self.programs.get(pid)
+            if program is None:
+                continue
+            env = self.envs[pid]
+            env.round = round_no
+            env.outbox = []
+            inbox = inboxes.get(pid, [])
+            try:
+                if round_no == 0:
+                    next(program)
+                else:
+                    program.send(inbox)
+            except StopIteration:
+                self.programs[pid] = None
+                terminated.append(pid)
+            # Messages queued before a final ``return`` are still sent —
+            # identical to ExecutionCore.advance.
+            records.extend(env.outbox)
+        decisions = {
+            pid: (env.decision, env.decision_round)
+            for pid, env in self.envs.items()
+            if env.has_decided
+        }
+        randomness = {
+            pid: (source.calls, source.bits_drawn)
+            for pid, source in self.sources.items()
+        }
+        return {
+            "records": records,
+            "terminated": terminated,
+            "decisions": decisions,
+            "randomness": randomness,
+        }
+
+
+def connect_with_backoff(
+    host: str,
+    port: int,
+    *,
+    timeout_s: float,
+    initial_backoff_s: float = 0.05,
+    max_backoff_s: float = 1.0,
+) -> tuple[socket.socket, int]:
+    """Dial the coordinator, retrying with exponential backoff.
+
+    Returns ``(socket, retries)``; raises :class:`TransportError` once
+    ``timeout_s`` of wall-clock has elapsed without a connection.
+    """
+    deadline = time.monotonic() + timeout_s
+    backoff = initial_backoff_s
+    retries = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout_s)
+        except OSError as error:
+            if time.monotonic() + backoff > deadline:
+                raise TransportError(
+                    f"could not reach coordinator at {host}:{port} within "
+                    f"{timeout_s:.1f}s ({retries} retries): {error}"
+                ) from error
+            time.sleep(backoff)
+            retries += 1
+            backoff = min(backoff * 2.0, max_backoff_s)
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock, retries
+
+
+def _expect_frame(sock: socket.socket) -> tuple[str, Any]:
+    frame, _ = recv_frame(sock)
+    if not (isinstance(frame, tuple) and len(frame) == 2):
+        raise TransportError(f"malformed frame: {frame!r}")
+    kind, payload = frame
+    return str(kind), payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transport.worker",
+        description="TCP-transport worker (spawned by AsyncioTcpTransport)",
+    )
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--token", required=True)
+    parser.add_argument("--worker", type=int, required=True)
+    parser.add_argument("--connect-timeout", type=float, default=20.0)
+    args = parser.parse_args(argv)
+
+    sock, retries = connect_with_backoff(
+        args.host, args.port, timeout_s=args.connect_timeout
+    )
+    try:
+        send_frame(
+            sock,
+            ("hello", {"worker": args.worker, "token": args.token,
+                       "retries": retries}),
+        )
+        kind, payload = _expect_frame(sock)
+        if kind != "setup":
+            raise TransportError(f"expected setup frame, got {kind!r}")
+        shard = ProcessShard(
+            payload["processes"],
+            n=payload["n"],
+            seed=payload["seed"],
+            multicast=payload["multicast"],
+        )
+        while True:
+            kind, payload = _expect_frame(sock)
+            if kind == "fini":
+                send_frame(sock, ("bye", {}))
+                return 0
+            if kind != "step":
+                raise TransportError(f"expected step frame, got {kind!r}")
+            out = shard.step(
+                payload["round"], payload["inboxes"], payload["reseed"]
+            )
+            send_frame(sock, ("out", out))
+    except (ConnectionError, BrokenPipeError):
+        # Coordinator went away; nothing useful to report.
+        return 1
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(main())

@@ -118,7 +118,7 @@ class TestRun:
         )
         record = run_campaign(spec)[0]
         rehydrated = json.loads(json.dumps(record))
-        assert record_cell_key(rehydrated) == spec.cell_key(33, "none", 0)
+        assert record_cell_key(rehydrated) == spec.cell_id(33, "none", 0)
 
 
 class TestParallel:
@@ -177,7 +177,7 @@ class TestJournal:
         assert len(resumed) == 4
         assert len(load_journal(path)) == 4
         done = {record_cell_key(rec) for rec in resumed}
-        assert done == {spec.cell_key(*cell) for cell in spec.grid()}
+        assert done == {spec.cell_id(*cell) for cell in spec.grid()}
 
     def test_load_journal_tolerates_truncated_tail(self, tmp_path):
         path = tmp_path / "journal.jsonl"
@@ -312,31 +312,27 @@ class TestJournal:
         assert len(load_journal(path)) == 4
 
 
-class TestDeprecatedGridKwargs:
-    GRID = dict(
-        protocol="algorithm1", ns=[33], adversaries=["none"], seeds=[0]
-    )
+class TestRemovedGridKwargs:
+    """The PR-9 one-cycle loose-keyword adapter is gone: spec required."""
 
-    def test_loose_keywords_still_run_with_a_warning(self):
-        expected = run_campaign(small_spec(adversaries=["none"], seeds=[0]))
-        with pytest.warns(DeprecationWarning, match="CampaignSpec"):
-            records = run_campaign(name="test-campaign", **self.GRID)
-        assert json.dumps(records, sort_keys=True) == json.dumps(
-            expected, sort_keys=True
-        )
+    def test_loose_keywords_rejected(self):
+        with pytest.raises(TypeError):
+            run_campaign(  # repro-lint: disable=REP004
+                name="test-campaign", protocol="algorithm1", ns=[33],
+                adversaries=["none"], seeds=[0],
+            )
 
-    def test_positional_name_with_keywords(self):
-        with pytest.warns(DeprecationWarning):
-            records = run_campaign("test-campaign", **self.GRID)
-        assert records[0]["campaign"] == "test-campaign"
-
-    def test_spec_plus_loose_keywords_rejected(self):
-        with pytest.raises(TypeError, match="both a CampaignSpec"):
-            run_campaign(small_spec(), ns=[33])
+    def test_positional_name_rejected(self):
+        with pytest.raises(TypeError, match="CampaignSpec"):
+            run_campaign("test-campaign")
 
     def test_no_spec_at_all_rejected(self):
-        with pytest.raises(TypeError, match="needs a CampaignSpec"):
+        with pytest.raises(TypeError):
             run_campaign()
+
+    def test_cell_key_alias_is_gone(self):
+        spec = small_spec(adversaries=["none"], seeds=[0])
+        assert not hasattr(spec, "cell_key")
 
     def test_spec_path_emits_no_warning(self):
         with warnings.catch_warnings():

@@ -72,31 +72,24 @@ def test_run_json_output(capsys):
     assert payload["n"] == 33
 
 
-def test_campaign_subcommand(tmp_path, capsys):
+def test_campaign_run_subcommand(tmp_path, capsys):
     output = tmp_path / "campaign.json"
-    code = main(
-        [
-            "campaign",
-            "--ns", "33",
-            "--adversaries", "none",
-            "--seeds", "0",
-            "--output", str(output),
-        ]
-    )
+    journal = tmp_path / "campaign.jsonl"
+    argv = [
+        "campaign", "run",
+        "--ns", "33",
+        "--adversaries", "none",
+        "--seeds", "0",
+        "--journal", str(journal),
+        "--output", str(output),
+    ]
+    code = main(argv)
     captured = capsys.readouterr().out
     assert code == 0
     assert output.exists()
     assert "rounds=" in captured
-    # Second invocation resumes instead of recomputing.
-    code = main(
-        [
-            "campaign",
-            "--ns", "33",
-            "--adversaries", "none",
-            "--seeds", "0",
-            "--output", str(output),
-        ]
-    )
+    # Second invocation resumes from the journal instead of recomputing.
+    code = main(argv)
     captured = capsys.readouterr().out
     assert code == 0
     assert "resuming" in captured
@@ -108,7 +101,7 @@ def test_campaign_jobs_and_jsonl_resume(tmp_path, capsys):
     journal = tmp_path / "campaign.jsonl"
     output = tmp_path / "campaign.json"
     argv = [
-        "campaign",
+        "campaign", "run",
         "--ns", "33",
         "--adversaries", "none",
         "--seeds", "0,1",
@@ -134,7 +127,7 @@ def test_campaign_x_option_recorded(tmp_path, capsys):
     output = tmp_path / "tradeoff.json"
     code = main(
         [
-            "campaign",
+            "campaign", "run",
             "--protocol", "tradeoff",
             "--ns", "33",
             "--adversaries", "none",
@@ -151,12 +144,11 @@ def test_campaign_x_option_recorded(tmp_path, capsys):
     assert records[0]["options"] == {"x": 2}
 
 
-def test_campaign_legacy_flat_flags_warn(tmp_path, capsys):
-    import pytest
-
+def test_campaign_flat_flags_removed(tmp_path, capsys):
+    """The one-cycle flat spelling is gone: a subcommand is required."""
     output = tmp_path / "campaign.json"
-    with pytest.warns(DeprecationWarning, match="campaign run"):
-        code = main(
+    with pytest.raises(SystemExit):
+        main(
             [
                 "campaign",
                 "--ns", "33",
@@ -165,8 +157,7 @@ def test_campaign_legacy_flat_flags_warn(tmp_path, capsys):
                 "--output", str(output),
             ]
         )
-    assert code == 0
-    assert output.exists()
+    assert not output.exists()
 
 
 def test_campaign_run_cold_then_warm_cache(tmp_path, capsys):

@@ -449,7 +449,7 @@ class TestModelAxisSurfaces:
         )
         records = run_campaign(spec, journal=tmp_path / "journal.jsonl")
         assert records[0]["model"] == "partial-synchrony"
-        assert record_cell_key(records[0]) == spec.cell_key(9, "none", 0)
+        assert record_cell_key(records[0]) == spec.cell_id(9, "none", 0)
         lockstep = CampaignSpec(
             name="model-axis",
             protocol="phase-king",
@@ -459,7 +459,7 @@ class TestModelAxisSurfaces:
         )
         # A model-pinned record can never satisfy a legacy (model-free)
         # spec's cell, and vice versa.
-        assert record_cell_key(records[0]) != lockstep.cell_key(9, "none", 0)
+        assert record_cell_key(records[0]) != lockstep.cell_id(9, "none", 0)
 
     def test_campaign_rejects_unknown_model(self):
         from repro.analysis.campaign import CampaignSpec

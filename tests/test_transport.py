@@ -1,0 +1,465 @@
+"""Tests for repro.transport: framing, the registry, the asyncio-TCP
+backend, and cross-transport equivalence against the in-process core.
+
+The equivalence suite is the transport axis's core guarantee: every
+registered protocol produces a byte-identical fingerprint (decisions
+*and* metering) whether its processes run in the interpreter or as real
+OS worker processes over localhost TCP, and a TCP-recorded recipe
+replays in-process to the same fingerprint.  The fault-injection test
+pins the other half of the contract: a killed worker process lands
+inside the omission model (crash fault + omitted copies, conservation
+intact), never as a hang.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.adversary import RandomOmissionAdversary
+from repro.analysis.campaign import CampaignSpec
+from repro.fabric import CellId
+from repro.harness import execute
+from repro.replay import record, recipe_from_payload, recipe_payload, replay
+from repro.runtime import RoundObserver
+from repro.transport import (
+    AsyncioTcpTransport,
+    InProcessTransport,
+    LinkMetricsObserver,
+    LinkSample,
+    Transport,
+    TransportError,
+    available_transports,
+    create_transport,
+    default_transport_name,
+    resolve_transport,
+)
+from repro.transport.framing import (
+    MAX_FRAME_BYTES,
+    FramingError,
+    decode_body,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.transport.worker import connect_with_backoff
+
+from .test_models import EQUIVALENCE_CASES, fingerprint, mixed
+
+
+def tcp_options(n, workers=4):
+    """Bound the OS-process count: ~``workers`` worker processes."""
+    return {"processes_per_worker": max(1, -(-n // workers))}
+
+
+def case_kwargs(protocol):
+    case = dict(EQUIVALENCE_CASES[protocol])
+    inputs = case.pop("inputs", None)
+    return inputs, case
+
+
+def case_n(protocol):
+    inputs, case = case_kwargs(protocol)
+    return case["n"] if inputs is None else len(inputs)
+
+
+# ---------------------------------------------------------------------------
+# Wire format.
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payload = ("step", {"round": 3, "inboxes": {0: [1, 2]}})
+        frame = encode_frame(payload)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == payload
+
+    def test_decode_garbage_raises_framing_error(self):
+        with pytest.raises(FramingError, match="undecodable"):
+            decode_body(b"\x00not-a-pickle")
+
+    def test_socket_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            sent = send_frame(left, {"hello": "world"})
+            payload, received = recv_frame(right)
+            assert payload == {"hello": "world"}
+            assert received == sent
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FramingError, match="length prefix"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_mid_frame_raises_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 64) + b"short")
+            left.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+# ---------------------------------------------------------------------------
+# Registry and resolution.
+class TestTransportRegistry:
+    def test_available_transports(self):
+        assert available_transports() == ("inprocess", "tcp")
+
+    def test_default_is_inprocess(self):
+        assert default_transport_name() == "inprocess"
+        assert isinstance(resolve_transport(), InProcessTransport)
+        assert isinstance(resolve_transport(None), InProcessTransport)
+
+    def test_create_transport_by_name(self):
+        assert isinstance(create_transport("inprocess"), InProcessTransport)
+        transport = create_transport("tcp", {"processes_per_worker": 3})
+        assert isinstance(transport, AsyncioTcpTransport)
+        assert transport.processes_per_worker == 3
+
+    def test_create_transport_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            create_transport("carrier-pigeon")
+
+    def test_resolve_instance_passthrough(self):
+        transport = InProcessTransport()
+        assert resolve_transport(transport) is transport
+
+    def test_resolve_instance_rejects_options(self):
+        with pytest.raises(ValueError, match="transport_options"):
+            resolve_transport(InProcessTransport(), {"anything": 1})
+
+    def test_options_payload_round_trips(self):
+        original = AsyncioTcpTransport(
+            processes_per_worker=4, link_timeout_s=5.0
+        )
+        rebuilt = create_transport("tcp", original.options_payload())
+        assert rebuilt.options_payload() == original.options_payload()
+
+    def test_transports_subclass_transport(self):
+        assert issubclass(InProcessTransport, Transport)
+        assert issubclass(AsyncioTcpTransport, Transport)
+
+
+class TestTcpValidation:
+    def test_rejects_non_loopback_host(self):
+        with pytest.raises(ValueError, match="loopback"):
+            AsyncioTcpTransport(host="0.0.0.0")
+
+    @pytest.mark.parametrize(
+        "kwargs,message",
+        [
+            ({"processes_per_worker": 0}, "processes_per_worker"),
+            ({"connect_timeout_s": 0}, "connect_timeout_s"),
+            ({"link_timeout_s": -1}, "link_timeout_s"),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            AsyncioTcpTransport(**kwargs)
+
+
+class TestConnectBackoff:
+    def test_connects_to_live_listener(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            port = listener.getsockname()[1]
+            sock, retries = connect_with_backoff(
+                "127.0.0.1", port, timeout_s=5.0
+            )
+            sock.close()
+            assert retries == 0
+        finally:
+            listener.close()
+
+    def test_fails_fast_on_dead_port(self):
+        # Grab a free port, then close it so nothing listens there.
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(TransportError, match="could not reach"):
+            connect_with_backoff("127.0.0.1", port, timeout_s=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Cross-transport equivalence: every registered protocol, byte-identical
+# fingerprint between the in-process core and real OS workers over TCP,
+# and the TCP-recorded recipe replays in-process.
+class TestCrossTransportEquivalence:
+    @pytest.mark.parametrize("protocol", sorted(EQUIVALENCE_CASES))
+    def test_tcp_matches_inprocess_and_replays(self, protocol):
+        inputs, case = case_kwargs(protocol)
+        baseline = fingerprint(execute(protocol, inputs, seed=7, **case))
+        recorded = record(
+            protocol,
+            inputs,
+            seed=7,
+            transport="tcp",
+            transport_options=tcp_options(case_n(protocol)),
+            **case,
+        )
+        assert not recorded.failed
+        assert fingerprint(recorded.run) == baseline
+        assert recorded.recipe.transport == "tcp"
+        # The recipe replays *in-process* to the recorded fingerprint:
+        # transport is provenance, not a replay input.
+        report = replay(recorded.recipe)
+        assert report.matches, report.summary()
+
+    def test_equivalence_under_omission_adversary(self):
+        runs = [
+            execute(
+                "phase-king",
+                mixed(13),
+                t=3,
+                seed=7,
+                adversary=RandomOmissionAdversary(0.3, seed=7),
+                transport=transport,
+                transport_options=options,
+            )
+            for transport, options in (
+                (None, None),
+                ("tcp", tcp_options(13)),
+            )
+        ]
+        assert fingerprint(runs[0]) == fingerprint(runs[1])
+        assert runs[0].result.faulty == runs[1].result.faulty
+
+    def test_execute_accepts_transport_instance(self):
+        baseline = fingerprint(execute("ben-or", mixed(9), t=1, seed=7))
+        run = execute(
+            "ben-or", mixed(9), t=1, seed=7, transport=InProcessTransport()
+        )
+        assert fingerprint(run) == baseline
+
+
+# ---------------------------------------------------------------------------
+# Transport faults: a killed worker process lands inside the omission
+# model — crash fault plus omitted copies — never as a hang.
+class _KillWorkerLink(RoundObserver):
+    """Kill one worker link's OS process at the end of a given round.
+
+    Phase-king's traffic cycles heavy/light/silent across each 3-round
+    phase; killing at the *end* of round 2 makes the crash surface during
+    round 3's heavy advance, so the dead worker has in-flight copies for
+    the adversary arbitration to omit.
+    """
+
+    def __init__(self, link_index, at_round):
+        self.link_index = link_index
+        self.at_round = at_round
+        self.killed = False
+
+    def on_round_end(self, round_no, network):
+        if round_no != self.at_round or self.killed:
+            return
+        link = network._core._links[self.link_index]
+        assert link.process is not None
+        link.process.kill()
+        self.killed = True
+
+
+class TestTransportFaults:
+    def test_killed_worker_becomes_omissions_not_a_hang(self):
+        # ppw=4 over n=13 gives links (0-3)(4-7)(8-11)(12): link 3
+        # hosts exactly pid 12, so the blast radius is one process.
+        killer = _KillWorkerLink(link_index=3, at_round=2)
+        metrics_tap = LinkMetricsObserver()
+        run = execute(
+            "phase-king",
+            mixed(13),
+            t=3,
+            seed=7,
+            observers=(killer, metrics_tap),
+            transport="tcp",
+            transport_options={"processes_per_worker": 4, "link_timeout_s": 5.0},
+        )
+        assert killer.killed
+        result = run.result
+        assert 12 in result.faulty
+        metrics = result.metrics
+        assert metrics.messages_omitted > 0
+        # The metering identity survives the transport fault: the dead
+        # worker's in-flight copies became omissions, its undeliverable
+        # later traffic became losses.
+        assert metrics.messages_sent == (
+            metrics.messages_delivered
+            + metrics.messages_omitted
+            + metrics.messages_lost
+        )
+        summary = metrics_tap.summary()
+        assert summary["failures"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Recipe provenance: the recorded transport rides in the payload but
+# replay always runs in-process.
+class TestRecipeProvenance:
+    def test_recorded_transport_defaults_to_inprocess(self):
+        recorded = record("ben-or", mixed(9), t=1, seed=7)
+        assert recorded.recipe.transport == "inprocess"
+        assert recorded.recipe.transport_options == {}
+
+    def test_payload_round_trips_transport_fields(self):
+        recorded = record(
+            "ben-or",
+            mixed(9),
+            t=1,
+            seed=7,
+            transport="tcp",
+            transport_options={"processes_per_worker": 3},
+        )
+        payload = recipe_payload(recorded.recipe)
+        assert payload["transport"] == "tcp"
+        assert payload["transport_options"] == {"processes_per_worker": 3}
+        rebuilt = recipe_from_payload(payload)
+        assert rebuilt.transport == "tcp"
+        assert rebuilt.transport_options == {"processes_per_worker": 3}
+
+    def test_pre_transport_payload_reads_as_inprocess(self):
+        recorded = record("ben-or", mixed(9), t=1, seed=7)
+        payload = recipe_payload(recorded.recipe)
+        del payload["transport"]
+        del payload["transport_options"]
+        legacy = recipe_from_payload(payload)
+        assert legacy.transport == "inprocess"
+        assert legacy.transport_options == {}
+
+
+# ---------------------------------------------------------------------------
+# Per-link metrics aggregation.
+class TestLinkMetricsObserver:
+    def _sample(self, **overrides):
+        base = dict(
+            worker=0,
+            pids=(0, 1),
+            round=1,
+            latency_s=0.010,
+            bytes_sent=100,
+            bytes_received=200,
+        )
+        base.update(overrides)
+        return LinkSample(**base)
+
+    def test_summary_aggregates_per_link(self):
+        observer = LinkMetricsObserver()
+        observer.on_transport(
+            -1,
+            [self._sample(round=-1, latency_s=0.5, retries=2, bytes_sent=0)],
+            network=None,
+        )
+        observer.on_transport(
+            1,
+            [
+                self._sample(latency_s=0.010),
+                self._sample(worker=1, pids=(2, 3), latency_s=0.030),
+            ],
+            network=None,
+        )
+        observer.on_transport(
+            2,
+            [self._sample(round=2, latency_s=0.020, ok=False, bytes_received=0)],
+            network=None,
+        )
+        summary = observer.summary()
+        assert summary["frames"] == 3
+        assert summary["failures"] == 1
+        assert summary["bytes_sent"] == 300
+        assert [entry["worker"] for entry in summary["links"]] == [0, 1]
+        link0 = summary["links"][0]
+        assert link0["connect_retries"] == 2
+        assert link0["connect_latency_s"] == 0.5
+        assert link0["frames"] == 2
+        assert link0["latency_s_mean"] == pytest.approx(0.015)
+        assert link0["latency_s_max"] == pytest.approx(0.020)
+
+    def test_empty_summary_is_json_safe_zeroes(self):
+        summary = LinkMetricsObserver().summary()
+        assert summary == {
+            "links": [],
+            "frames": 0,
+            "failures": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The transport axis in cell identity and campaign specs.
+class TestTransportIdentity:
+    def _cell(self, **overrides):
+        base = dict(
+            protocol="algorithm1",
+            n=33,
+            t=0,
+            adversary="none",
+            seed=0,
+        )
+        base.update(overrides)
+        return CellId.make(**base)
+
+    def test_transport_changes_the_digest(self):
+        default = self._cell()
+        pinned = self._cell(transport="tcp")
+        assert default.digest != pinned.digest
+        # None (unpinned) and an explicit "inprocess" are distinct
+        # identities, like the model axis: pinning is part of the ask.
+        assert default.digest != self._cell(transport="inprocess").digest
+
+    def test_transport_options_change_the_digest(self):
+        plain = self._cell(transport="tcp")
+        tuned = self._cell(
+            transport="tcp", transport_options={"processes_per_worker": 4}
+        )
+        assert plain.digest != tuned.digest
+
+    def test_payload_and_record_round_trip(self):
+        cell = self._cell(
+            transport="tcp", transport_options={"processes_per_worker": 4}
+        )
+        payload = cell.payload()
+        assert payload["transport"] == "tcp"
+        record_shape = dict(
+            payload,
+            transport_options={"processes_per_worker": 4},
+            options={},
+            model_options={},
+        )
+        assert CellId.from_record(record_shape) == cell
+
+    def test_pre_transport_record_reads_as_default(self):
+        cell = self._cell()
+        payload = cell.payload()
+        del payload["transport"]
+        del payload["transport_options"]
+        legacy = dict(payload, options={}, model_options={})
+        assert CellId.from_record(legacy) == cell
+
+    def test_campaign_spec_validates_transport(self):
+        spec = CampaignSpec(
+            name="t", protocol="algorithm1", ns=[33], adversaries=["none"],
+            seeds=[0], transport="tcp",
+        )
+        assert spec.cell_id(33, "none", 0).transport == "tcp"
+        with pytest.raises(ValueError, match="unknown transport"):
+            CampaignSpec(
+                name="t", protocol="algorithm1", ns=[33],
+                adversaries=["none"], seeds=[0], transport="smoke-signals",
+            )
+
+    def test_campaign_spec_options_require_transport(self):
+        with pytest.raises(ValueError, match="explicit transport"):
+            CampaignSpec(
+                name="t", protocol="algorithm1", ns=[33],
+                adversaries=["none"], seeds=[0],
+                transport_options={"processes_per_worker": 4},
+            )
